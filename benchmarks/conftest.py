@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper through
+the same code path as ``python -m repro.harness.experiments`` and then
+asserts the *shape* the paper reports (who wins, roughly by how much).
+Absolute numbers are simulated-cost units, not hours — see DESIGN.md §2.
+
+Scale can be raised for closer-to-paper runs::
+
+    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+#: Default scale keeps the full benchmark suite in the minutes range.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are deterministic end-to-end joins taking seconds, so
+    statistical repetition would only burn time without adding
+    information.
+    """
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+
+def by_algorithm(rows):
+    """Group experiment rows: algorithm -> list of join costs."""
+    out: dict[str, list[float]] = {}
+    for row in rows:
+        out.setdefault(row["algorithm"], []).append(row["join_cost"])
+    return out
+
+
+@pytest.fixture
+def scale():
+    return BENCH_SCALE

@@ -1,0 +1,37 @@
+"""FIG12 — neuroscience data (Figure 12).
+
+Paper shape, joining axons with dendrites (60/40 split, top-heavy
+axons): TRANSFORMERS achieves 2.3–3.3× faster joins than PBSM and
+4.1–6.5× than the R-tree; indexing time ordering matches Figure 11
+(PBSM cheapest to build).
+"""
+
+from repro.harness.experiments import fig12
+from repro.harness.report import format_table
+
+from benchmarks.conftest import by_algorithm, run_once
+
+
+def test_fig12_neuroscience_workload(benchmark, scale):
+    rows = run_once(benchmark, fig12, scale)
+    print()
+    print(format_table(rows, title="Figure 12 — axons x dendrites"))
+
+    costs = by_algorithm(rows)
+    tr = costs["TRANSFORMERS"]
+    pbsm = costs["PBSM"]
+    rtree = costs["R-TREE"]
+
+    # TR wins the join at every size; the paper's factor is 2.3-3.3 over
+    # PBSM — accept anything clearly above 1.5 at the reduced scale.
+    for t, p in zip(tr, pbsm):
+        assert p / t > 1.5
+    for t, r in zip(tr, rtree):
+        assert r / t > 1.2
+
+    # All results agree on cardinality per size (same filter answer).
+    by_size: dict[int, set[int]] = {}
+    for row in rows:
+        by_size.setdefault(row["n_a"], set()).add(row["pairs"])
+    for size, cardinalities in by_size.items():
+        assert len(cardinalities) == 1, f"algorithms disagree at {size}"

@@ -1,0 +1,43 @@
+"""FIG13 (right) — transformation-threshold sensitivity (Figure 13, right).
+
+Paper shape, one bar group per distribution at a fixed size:
+
+* **Uniform** — no local variation, so *UnderFit* (threshold 10⁶, never
+  transform) is the best static configuration and the cost model tracks
+  it;
+* **MassiveCluster** — heavy local skew, so *OverFit* (threshold 1.5,
+  transform eagerly) wins and the cost model tracks *it*;
+* **UniformCluster & DenseCluster** — in between; the cost model stays
+  close to the better static extreme.
+
+The point of the experiment is that the runtime cost model never loses
+badly to either static extreme on any distribution.
+"""
+
+from repro.harness.experiments import fig13_threshold
+from repro.harness.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig13_threshold_sensitivity(benchmark, scale):
+    rows = run_once(benchmark, fig13_threshold, scale)
+    print()
+    print(format_table(rows, title="Figure 13 (right) — threshold sensitivity"))
+
+    table: dict[str, dict[str, float]] = {}
+    for row in rows:
+        table.setdefault(row["workload"], {})[row["config"]] = row["join_cost"]
+
+    assert set(table) == {"MassiveCluster", "UniformVsDenseCluster", "Uniform"}
+
+    for workload, costs in table.items():
+        best_static = min(costs["OverFit"], costs["UnderFit"])
+        # The cost model must stay within 40% of the better static
+        # extreme on every distribution (the paper's "close to" claim).
+        assert costs["CostModelFit"] <= 1.4 * best_static, workload
+
+    # On uniform data transformations cannot pay off: UnderFit must not
+    # lose to OverFit.
+    uniform = table["Uniform"]
+    assert uniform["UnderFit"] <= uniform["OverFit"] * 1.1

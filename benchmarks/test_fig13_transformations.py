@@ -1,0 +1,31 @@
+"""FIG13 (left) — impact of transformations (Figure 13, left panel).
+
+Paper shape: on MassiveCluster data the full TRANSFORMERS beats the
+No-TR ablation (space-node granularity only, no role/layout switches)
+by 1.2–1.6×, and the benefit grows with the data skew (dataset size).
+"""
+
+from repro.harness.experiments import fig13_impact
+from repro.harness.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig13_transformation_impact(benchmark, scale):
+    rows = run_once(benchmark, fig13_impact, scale)
+    print()
+    print(format_table(rows, title="Figure 13 (left) — TRANSFORMERS vs No TR"))
+
+    tr = [r["join_cost"] for r in rows if r["algorithm"] == "TRANSFORMERS"]
+    no_tr = [r["join_cost"] for r in rows if r["algorithm"] == "No TR"]
+    assert len(tr) == len(no_tr) >= 3
+
+    # Transformations help at most sizes and never hurt badly.
+    ratios = [n / t for t, n in zip(tr, no_tr)]
+    assert sum(r > 1.0 for r in ratios) >= len(ratios) - 1
+    assert all(r > 0.9 for r in ratios)
+
+    # The benefit at the largest (most skewed) size exceeds the benefit
+    # at the smallest — the paper's growing-gap observation.
+    assert ratios[-1] >= ratios[0] * 0.95
+    assert max(ratios) > 1.1

@@ -1,0 +1,56 @@
+"""Robustness to density contrast — the paper's Figure 1, live.
+
+Joins nine pairs of uniform datasets whose density ratio sweeps from
+1:1000 to 1000:1 and prints one line per rung for each algorithm.  The
+take-away the paper opens with: every static strategy has a regime
+where it collapses; TRANSFORMERS stays flat because it adapts roles
+and data layout at run time.
+
+Run with::
+
+    python examples/density_robustness.py [largest_size]
+"""
+
+import sys
+
+from repro import (
+    GipsyJoin,
+    PBSMJoin,
+    SynchronizedRTreeJoin,
+    TransformersJoin,
+    density_ladder,
+)
+from repro.harness.runner import pbsm_resolution, run_pair
+
+
+def main(largest: int = 12_000) -> None:
+    ladder = density_ladder(smallest=max(20, largest // 300), largest=largest)
+    print(f"{'|A|':>7} {'|B|':>7} {'ratio':>9} | "
+          f"{'TRANSFORMERS':>12} {'PBSM':>9} {'GIPSY':>9} {'R-TREE':>9}")
+    for a, b, ratio in ladder:
+        space = a.boxes.mbb().union(b.boxes.mbb())
+        costs = {}
+        pairs = set()
+        for algo in (
+            TransformersJoin(),
+            PBSMJoin(space=space, resolution=pbsm_resolution(len(a) + len(b))),
+            GipsyJoin(),
+            SynchronizedRTreeJoin(),
+        ):
+            rec = run_pair(algo, a, b)
+            costs[rec.algorithm] = rec.join_cost
+            pairs.add(rec.pairs_found)
+        assert len(pairs) == 1, "algorithms disagree on the result!"
+        print(
+            f"{len(a):>7} {len(b):>7} {ratio:>9.3f} | "
+            f"{costs['TRANSFORMERS']:>12,.0f} {costs['PBSM']:>9,.0f} "
+            f"{costs['GIPSY']:>9,.0f} {costs['R-TREE']:>9,.0f}"
+        )
+    print(
+        "\nNote how TRANSFORMERS' column stays flat while each baseline "
+        "has a regime where it blows up (paper Figures 1 and 10)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12_000)

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with pyproject-only metadata) fail with
+``invalid command 'bdist_wheel'``.  This shim lets pip fall back to the
+legacy ``setup.py develop`` path; all real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

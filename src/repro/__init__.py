@@ -1,0 +1,101 @@
+"""repro — reproduction of "TRANSFORMERS: Robust Spatial Joins on
+Non-Uniform Data Distributions" (Pavlovic et al., ICDE 2016).
+
+Public API tour:
+
+* **the contribution** — :class:`~repro.core.TransformersJoin` with
+  :class:`~repro.core.TransformersConfig`;
+* **baselines** — :class:`~repro.joins.PBSMJoin`,
+  :class:`~repro.joins.SynchronizedRTreeJoin`,
+  :class:`~repro.joins.GipsyJoin`,
+  :class:`~repro.joins.IndexedNestedLoopJoin`, and the exact
+  :class:`~repro.joins.BruteForceJoin` oracle;
+* **substrates** — :mod:`repro.geometry` (boxes, Hilbert curves,
+  cylinders), :mod:`repro.storage` (simulated disk, buffer pool),
+  :mod:`repro.index` (STR, R-tree, B+-tree, grids);
+* **workloads** — :mod:`repro.datagen`;
+* **experiments** — ``python -m repro.harness.experiments all``.
+
+Quickstart::
+
+    from repro import (
+        Dataset, SimulatedDisk, TransformersJoin, uniform_dataset,
+        scaled_space,
+    )
+
+    space = scaled_space(20_000)
+    a = uniform_dataset(10_000, seed=1, name="A", space=space)
+    b = uniform_dataset(10_000, seed=2, name="B", id_offset=10**9,
+                        space=space)
+    result, build_a, build_b = TransformersJoin().run(SimulatedDisk(), a, b)
+    print(result.stats.pairs_found, "intersecting pairs")
+"""
+
+from repro.core import TransformersConfig, TransformersIndex, TransformersJoin
+from repro.datagen import (
+    SPACE,
+    dense_cluster,
+    density_ladder,
+    massive_cluster,
+    neuro_datasets,
+    scaled_space,
+    uniform_cluster,
+    uniform_dataset,
+)
+from repro.geometry import Box, BoxArray, Cylinder
+from repro.joins import (
+    BruteForceJoin,
+    CostModel,
+    Dataset,
+    GipsyJoin,
+    IndexedNestedLoopJoin,
+    JoinResult,
+    JoinStats,
+    PBSMJoin,
+    S3Join,
+    SSSJJoin,
+    SynchronizedRTreeJoin,
+    distance_join,
+)
+from repro.storage import BufferPool, DiskModel, SimulatedDisk
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "TransformersJoin",
+    "TransformersConfig",
+    "TransformersIndex",
+    # baselines
+    "PBSMJoin",
+    "SynchronizedRTreeJoin",
+    "GipsyJoin",
+    "IndexedNestedLoopJoin",
+    "SSSJJoin",
+    "S3Join",
+    "BruteForceJoin",
+    "distance_join",
+    # shared types
+    "Dataset",
+    "JoinResult",
+    "JoinStats",
+    "CostModel",
+    # geometry
+    "Box",
+    "BoxArray",
+    "Cylinder",
+    # storage
+    "SimulatedDisk",
+    "DiskModel",
+    "BufferPool",
+    # datagen
+    "SPACE",
+    "scaled_space",
+    "uniform_dataset",
+    "dense_cluster",
+    "uniform_cluster",
+    "massive_cluster",
+    "neuro_datasets",
+    "density_ladder",
+]

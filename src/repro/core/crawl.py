@@ -1,0 +1,116 @@
+"""Adaptive Crawling: candidate-set collection around an intersection.
+
+Once the walk lands on a follower node intersecting the pivot, the
+crawl phase "recursively visits all neighbors until no more elements
+intersecting with p can be found" (Section V), producing the candidate
+set for the in-memory join.
+
+Two boxes play a role, mirroring the paper's page-MBB/partition-MBB
+distinction:
+
+* **expansion** follows neighbours whose *partition* MBB intersects the
+  pivot box *enlarged by the follower's maximum element extent*.  The
+  enlargement guarantees completeness: an element can overhang its
+  partition (partitions split between element *centres*) by at most
+  one element extent, so every node whose tight MBB could intersect
+  the pivot has its partition inside the enlarged box, and the set of
+  partitions intersecting an axis-aligned box is face-connected — the
+  breadth-first expansion cannot be cut off;
+* **inclusion** in the candidate set requires the node's tight *node
+  MBB* (the union of its units' page MBBs) to intersect the pivot box
+  itself, keeping the candidate set small.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Container
+
+import numpy as np
+
+from repro.core.indexing import TransformersIndex
+from repro.core.walk import touch_node_meta
+from repro.joins.base import JoinStats
+from repro.storage.buffer import BufferPool
+
+
+def adaptive_crawl(
+    index: TransformersIndex,
+    start: int,
+    e_lo: np.ndarray,
+    e_hi: np.ndarray,
+    g_lo: np.ndarray,
+    g_hi: np.ndarray,
+    stats: JoinStats,
+    pool: BufferPool,
+    skip: Container[int] = frozenset(),
+) -> list[int]:
+    """Collect candidate follower nodes around ``start``.
+
+    Parameters
+    ----------
+    e_lo, e_hi:
+        The pivot box (tight).
+    g_lo, g_hi:
+        The pivot box enlarged by the follower's max element extent.
+    skip:
+        Nodes to leave out of the candidate set (already-checked nodes
+        whose result pairs were reported when *they* were pivots —
+        the to-do-list optimisation of Algorithm 2).  Skipped nodes are
+        still expanded *through*, so the crawl's connectivity is not
+        broken by holes of checked nodes.
+
+    Returns candidate node indices in visit order.
+    """
+    candidates: list[int] = []
+    seen = {int(start)}
+    queue = [int(start)]
+    while queue:
+        node = queue.pop()
+        touch_node_meta(index, node, pool)
+        stats.metadata_comparisons += 1
+        if node not in skip and np.all(
+            index.nodes.mbb_lo[node] <= e_hi
+        ) and np.all(index.nodes.mbb_hi[node] >= e_lo):
+            candidates.append(node)
+        for nb in index.nodes.neighbors[node]:
+            nb = int(nb)
+            if nb in seen:
+                continue
+            stats.metadata_comparisons += 1
+            if np.all(index.nodes.part_lo[nb] <= g_hi) and np.all(
+                index.nodes.part_hi[nb] >= g_lo
+            ):
+                seen.add(nb)
+                queue.append(nb)
+    return candidates
+
+
+def candidate_units(
+    index: TransformersIndex,
+    nodes: list[int],
+    q_lo: np.ndarray,
+    q_hi: np.ndarray,
+    stats: JoinStats,
+    pool: BufferPool,
+) -> np.ndarray:
+    """Units of the given nodes whose page MBB intersects the query box.
+
+    Reads each node's unit-descriptor page (charged through the pool)
+    and filters its units' page MBBs — the "filters elements before the
+    in-memory join" step of Section V.
+    """
+    out: list[np.ndarray] = []
+    for node in nodes:
+        pool.read(int(index.nodes.desc_page_ids[node]))
+        members = index.nodes.units[node]
+        stats.metadata_comparisons += len(members)
+        hit = np.all(
+            (index.units.page_lo[members] <= q_hi)
+            & (index.units.page_hi[members] >= q_lo),
+            axis=1,
+        )
+        if hit.any():
+            out.append(members[hit])
+    if not out:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(out)

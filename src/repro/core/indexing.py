@@ -1,0 +1,254 @@
+"""TRANSFORMERS indexing (paper Section IV).
+
+Builds, for one dataset, the three-level hierarchical organisation:
+
+* **level 2** — spatial elements, packed into page-sized STR tiles;
+* **level 1** — *space units*: one disk page of elements plus a
+  descriptor (page MBB, partition MBB, page pointer);
+* **level 0** — *space nodes*: groups of space units (as many as one
+  descriptor page can summarise), with node MBB, gap-free node
+  partition bounds and the neighbour lists that form the connectivity
+  graph.
+
+Connectivity is computed "by performing a spatial self-join on the
+space node MBBs" — we run it on the gap-free node *partition* bounds
+so face-adjacent nodes always link up (the paper introduces partition
+MBBs for precisely this no-gaps navigation guarantee).  Space units
+inherit the neighbourhood information from their parent node.
+
+Finally the Hilbert values of all node centres are indexed with a
+B+-tree so the adaptive walk can pick a start descriptor near any
+pivot (Section V, "Adaptive Walk").
+
+Index build cost is charged to the simulated disk like every other
+algorithm: element pages, descriptor pages and B+-tree pages are all
+allocated through it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.geometry.boxes import BoxArray
+from repro.geometry.hilbert import hilbert_index_batch
+from repro.index.bplustree import BPlusTree
+from repro.index.str_pack import str_partition_with_bounds
+from repro.joins.base import Dataset, JoinStats
+from repro.joins.grid_hash import grid_hash_join
+from repro.core.descriptors import (
+    DESCRIPTOR_SIZE,
+    NodeDescriptorBlock,
+    UnitDescriptorBlock,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import ElementPage, element_page_capacity
+
+
+class TransformersIndex:
+    """The per-dataset index TRANSFORMERS joins over.
+
+    Unlike PBSM's grid partitions, this structure depends only on its
+    own dataset — "An index built on one dataset can therefore be
+    reused when joining with any other dataset" (Section VII-C1); the
+    index-reuse example demonstrates it.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        dataset_name: str,
+        num_elements: int,
+        units: UnitDescriptorBlock,
+        nodes: NodeDescriptorBlock,
+        btree: BPlusTree,
+        max_extent: np.ndarray,
+        elements_per_unit: int,
+        units_per_node: int,
+        space: "Box",
+        btree_bits: int,
+        node_slack: np.ndarray,
+    ) -> None:
+        self.disk = disk
+        self.dataset_name = dataset_name
+        self.num_elements = num_elements
+        self.units = units
+        self.nodes = nodes
+        self.btree = btree
+        self.max_extent = max_extent
+        #: Spatial extent the Hilbert keys were quantised over.
+        self.space = space
+        #: Hilbert lattice resolution used for the B+-tree keys.
+        self.btree_bits = btree_bits
+        #: Per-axis upper bound on how far any node's tight MBB
+        #: overhangs its partition bounds.  Walk/crawl enlarge the
+        #: pivot by this slack so that navigating the (gap-free)
+        #: partition tiling provably reaches every node whose MBB can
+        #: intersect the pivot — the completeness guarantee of the
+        #: adaptive exploration.
+        self.node_slack = node_slack
+        #: nSO in the cost model: elements per (full) space unit.
+        self.elements_per_unit = elements_per_unit
+        #: nSU in the cost model: space units per (full) space node.
+        self.units_per_node = units_per_node
+
+    @property
+    def num_units(self) -> int:
+        """Number of space units (level 1)."""
+        return len(self.units)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of space nodes (level 0)."""
+        return len(self.nodes)
+
+
+def build_transformers_index(
+    disk: SimulatedDisk,
+    dataset: Dataset,
+    algorithm_name: str = "TRANSFORMERS",
+) -> tuple[TransformersIndex, JoinStats]:
+    """Index one dataset (see module docstring for the structure)."""
+    start = time.perf_counter()
+    io_before = disk.stats.snapshot()
+    ndim = dataset.ndim
+    space = dataset.boxes.mbb()
+    elements_per_unit = element_page_capacity(disk.model.page_size, ndim)
+    units_per_node = max(2, disk.model.page_size // DESCRIPTOR_SIZE)
+
+    # ------------------------------------------------------------------
+    # Level 1: space units (element pages + descriptors).
+    # ------------------------------------------------------------------
+    unit_tiles, unit_bounds = str_partition_with_bounds(
+        dataset.boxes.centers(), elements_per_unit, space
+    )
+    n_units = len(unit_tiles)
+    u_page_lo = np.empty((n_units, ndim))
+    u_page_hi = np.empty((n_units, ndim))
+    u_part_lo = np.empty((n_units, ndim))
+    u_part_hi = np.empty((n_units, ndim))
+    u_element_pages = np.empty(n_units, dtype=np.int64)
+    u_counts = np.empty(n_units, dtype=np.int64)
+    for t, tile in enumerate(unit_tiles):
+        page = ElementPage(dataset.ids[tile], dataset.boxes.take(tile))
+        u_element_pages[t] = disk.allocate(page)
+        mbb = page.boxes.mbb()
+        u_page_lo[t], u_page_hi[t] = mbb.lo, mbb.hi
+        u_part_lo[t], u_part_hi[t] = unit_bounds[t].lo, unit_bounds[t].hi
+        u_counts[t] = len(tile)
+
+    # ------------------------------------------------------------------
+    # Level 0: space nodes (groups of units, gap-free node bounds).
+    # ------------------------------------------------------------------
+    unit_centers = (u_part_lo + u_part_hi) / 2.0
+    node_tiles, node_bounds = str_partition_with_bounds(
+        unit_centers, units_per_node, space
+    )
+    n_nodes = len(node_tiles)
+    n_mbb_lo = np.empty((n_nodes, ndim))
+    n_mbb_hi = np.empty((n_nodes, ndim))
+    n_part_lo = np.empty((n_nodes, ndim))
+    n_part_hi = np.empty((n_nodes, ndim))
+    node_units: list[np.ndarray] = []
+    u_parent = np.empty(n_units, dtype=np.intp)
+    desc_page_ids = np.empty(n_nodes, dtype=np.int64)
+    element_counts = np.empty(n_nodes, dtype=np.int64)
+    for k, tile in enumerate(node_tiles):
+        members = np.asarray(sorted(int(i) for i in tile), dtype=np.intp)
+        node_units.append(members)
+        u_parent[members] = k
+        n_mbb_lo[k] = u_page_lo[members].min(axis=0)
+        n_mbb_hi[k] = u_page_hi[members].max(axis=0)
+        n_part_lo[k], n_part_hi[k] = node_bounds[k].lo, node_bounds[k].hi
+        element_counts[k] = int(u_counts[members].sum())
+        # One descriptor page per node, holding its unit descriptors.
+        desc_page_ids[k] = disk.allocate(("unit-descriptors", k))
+
+    # ------------------------------------------------------------------
+    # Connectivity: self-join on the node partition bounds (gap-free),
+    # giving each node the list of its adjacent/overlapping nodes.
+    # ------------------------------------------------------------------
+    part_boxes = BoxArray(n_part_lo, n_part_hi)
+    pair_idx, _ = grid_hash_join(part_boxes, part_boxes)
+    neighbor_lists: list[list[int]] = [[] for _ in range(n_nodes)]
+    for i, j in pair_idx:
+        if i != j:
+            neighbor_lists[int(i)].append(int(j))
+    neighbors = [
+        np.asarray(sorted(ns), dtype=np.intp) for ns in neighbor_lists
+    ]
+
+    # Node descriptors themselves live on a run of metadata pages.
+    per_meta_page = max(1, disk.model.page_size // DESCRIPTOR_SIZE)
+    meta_page_of = np.arange(n_nodes, dtype=np.intp) // per_meta_page
+    n_meta = int(meta_page_of.max()) + 1 if n_nodes else 0
+    meta_page_ids = np.empty(n_meta, dtype=np.int64)
+    for m in range(n_meta):
+        meta_page_ids[m] = disk.allocate(("node-descriptors", m))
+
+    # ------------------------------------------------------------------
+    # B+-tree over Hilbert values of node centres (walk start lookup).
+    # ------------------------------------------------------------------
+    node_centers = (n_part_lo + n_part_hi) / 2.0
+    btree_bits = 10
+    hkeys = hilbert_index_batch(node_centers, space, bits=btree_bits)
+    btree = BPlusTree.bulk_load(
+        disk, [(int(hkeys[k]), k) for k in range(n_nodes)]
+    )
+
+    units = UnitDescriptorBlock(
+        page_lo=u_page_lo,
+        page_hi=u_page_hi,
+        part_lo=u_part_lo,
+        part_hi=u_part_hi,
+        element_page_ids=u_element_pages,
+        parent_node=u_parent,
+        counts=u_counts,
+    )
+    nodes = NodeDescriptorBlock(
+        mbb_lo=n_mbb_lo,
+        mbb_hi=n_mbb_hi,
+        part_lo=n_part_lo,
+        part_hi=n_part_hi,
+        units=node_units,
+        neighbors=neighbors,
+        desc_page_ids=desc_page_ids,
+        meta_page_of=meta_page_of,
+        meta_page_ids=meta_page_ids,
+        element_counts=element_counts,
+    )
+    max_extent = (
+        dataset.boxes.extents().max(axis=0)
+        if len(dataset) > 0
+        else np.zeros(ndim)
+    )
+    # How far node MBBs overhang their partition bounds (see the
+    # TransformersIndex.node_slack docstring).
+    if n_nodes:
+        overhang_lo = np.maximum(n_part_lo - n_mbb_lo, 0.0).max(axis=0)
+        overhang_hi = np.maximum(n_mbb_hi - n_part_hi, 0.0).max(axis=0)
+        node_slack = np.maximum(overhang_lo, overhang_hi)
+    else:
+        node_slack = np.zeros(ndim)
+    index = TransformersIndex(
+        disk=disk,
+        dataset_name=dataset.name,
+        num_elements=len(dataset),
+        units=units,
+        nodes=nodes,
+        btree=btree,
+        max_extent=max_extent,
+        elements_per_unit=elements_per_unit,
+        units_per_node=units_per_node,
+        space=space,
+        btree_bits=btree_bits,
+        node_slack=node_slack,
+    )
+    stats = JoinStats(algorithm=algorithm_name, phase="index")
+    stats.absorb_io(disk.stats.delta(io_before))
+    stats.wall_seconds = time.perf_counter() - start
+    stats.extras["space_units"] = float(n_units)
+    stats.extras["space_nodes"] = float(n_nodes)
+    return index, stats

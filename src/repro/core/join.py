@@ -1,0 +1,606 @@
+"""TRANSFORMERS join: Adaptive Exploration (Algorithm 2).
+
+The driver visits the *guide* dataset's space nodes one after the
+other.  For each pivot node it
+
+1. **walks** through the *follower*'s connectivity graph to the pivot's
+   location (Algorithm 1, :mod:`repro.core.walk`), possibly starting
+   from a B+-tree lookup on the pivot centre's Hilbert value;
+2. checks whether a **transformation** applies
+   (:mod:`repro.core.transformations`): switch guide and follower when
+   the follower is locally sparser, and/or split the pivot to
+   space-unit — or, under extreme skew, single-element — granularity;
+3. **crawls** the follower's neighbourhood to collect the candidate
+   node set (:mod:`repro.core.crawl`), skipping nodes that were
+   already fully processed as pivots themselves (the to-do-list rule:
+   their result pairs are already reported);
+4. filters space units by page-MBB intersection, reads exactly the
+   surviving pages, and runs the in-memory **grid hash join** on the
+   element sets;
+5. marks the pivot node as checked and re-estimates the cost-model
+   thresholds from the measured exploration/IO/filtering rates.
+
+The join finishes when one dataset has no unchecked nodes left — every
+result pair (x, y) was reported while processing whichever of x's or
+y's node was checked first, so completeness follows by induction.
+
+Cost attribution (Figure 14): all descriptor/metadata page I/O and
+metadata comparisons are *adaptive exploration overhead*; element-page
+I/O and element intersection tests are *join cost*.  Both are recorded
+in the result's ``extras``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import TransformersConfig
+from repro.core.crawl import adaptive_crawl, candidate_units
+from repro.core.indexing import TransformersIndex, build_transformers_index
+from repro.core.transformations import ThresholdController
+from repro.core.walk import adaptive_walk
+from repro.geometry.boxes import BoxArray
+from repro.geometry.hilbert import hilbert_index_batch
+from repro.joins.base import (
+    Dataset,
+    JoinResult,
+    JoinStats,
+    SpatialJoinAlgorithm,
+)
+from repro.joins.grid_hash import grid_hash_join
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import ElementPage
+
+#: Volume floor so degenerate (flat) MBBs cannot produce infinite ratios.
+_EPS_VOLUME = 1e-9
+
+
+class _CheckedView:
+    """Container view answering "is this node already checked?".
+
+    Wraps the live *unchecked* set so the crawl's ``skip`` argument
+    always reflects the current to-do list without copying.
+    """
+
+    __slots__ = ("_unchecked",)
+
+    def __init__(self, unchecked: set[int]) -> None:
+        self._unchecked = unchecked
+
+    def __contains__(self, node: object) -> bool:
+        return node not in self._unchecked
+
+
+class TransformersJoin(SpatialJoinAlgorithm):
+    """The paper's adaptive spatial join.
+
+    >>> from repro.datagen import uniform_dataset, scaled_space
+    >>> from repro.storage import SimulatedDisk
+    >>> space = scaled_space(600)
+    >>> a = uniform_dataset(300, seed=1, name="A", space=space)
+    >>> b = uniform_dataset(300, seed=2, name="B", id_offset=10**9, space=space)
+    >>> disk = SimulatedDisk()
+    >>> result, _, _ = TransformersJoin().run(disk, a, b)
+    >>> result.stats.pairs_found >= 0
+    True
+    """
+
+    name = "TRANSFORMERS"
+
+    def __init__(self, config: TransformersConfig | None = None) -> None:
+        self.config = config or TransformersConfig()
+
+    def build_index(
+        self, disk: SimulatedDisk, dataset: Dataset
+    ) -> tuple[TransformersIndex, JoinStats]:
+        """Build the three-level TRANSFORMERS index (Section IV)."""
+        return build_transformers_index(disk, dataset, self.name)
+
+    def join(
+        self, index_a: TransformersIndex, index_b: TransformersIndex
+    ) -> JoinResult:
+        """Adaptive exploration over two TRANSFORMERS indexes."""
+        if index_a.disk is not index_b.disk:
+            raise ValueError("both indexes must live on the same disk")
+        driver = _Driver(self.config, index_a, index_b, self.name)
+        return driver.run()
+
+
+class _Driver:
+    """Mutable state of one adaptive-exploration run."""
+
+    def __init__(
+        self,
+        config: TransformersConfig,
+        index_a: TransformersIndex,
+        index_b: TransformersIndex,
+        algorithm_name: str,
+    ) -> None:
+        self.config = config
+        self.indexes = (index_a, index_b)
+        self.disk = index_a.disk
+        self.pool = BufferPool(self.disk, config.buffer_pages)
+        #: Descriptor/metadata pages get their own pool so bulk data
+        #: reads cannot evict the (small, hot) navigation structures.
+        self.meta_pool = BufferPool(self.disk, config.metadata_buffer_pages)
+        self.stats = JoinStats(algorithm=algorithm_name, phase="join")
+        self.thresholds = ThresholdController(
+            config,
+            n_su=index_a.units_per_node,
+            n_so=index_a.elements_per_unit,
+        )
+        #: Per-dataset to-do lists at node granularity.
+        self.unchecked: list[set[int]] = [
+            set(range(index_a.num_nodes)),
+            set(range(index_b.num_nodes)),
+        ]
+        #: Scan pointer per dataset: nodes before it are all checked, so
+        #: pivots are visited in STR (spatially local) order.
+        self.scan_pos = [0, 0]
+        #: Last walk position per dataset (when it acted as follower).
+        self.walk_pos: list[int | None] = [None, None]
+        self.guide = 0
+        self.out: list[np.ndarray] = []
+        # Figure-14 attribution (simulated cost units).
+        self.exploration_io = 0.0
+        self.data_io = 0.0
+        self.data_pages = 0
+        # Transformation counters.
+        self.role_switches = 0
+        self.splits_to_unit = 0
+        self.splits_to_element = 0
+
+    # ------------------------------------------------------------------
+    # Top-level loop
+    # ------------------------------------------------------------------
+    def run(self) -> JoinResult:
+        start = time.perf_counter()
+        io_before = self.disk.stats.snapshot()
+        self._load_directory()
+        while self.unchecked[0] and self.unchecked[1]:
+            if not self.unchecked[self.guide]:
+                # Initial pass over the guide done; restart with the
+                # dataset that has fewer unexamined nodes (Section V).
+                self.guide = 1 - self.guide
+            pivot = self._next_pivot(self.guide)
+            self._process_node(pivot, allow_role=True)
+            self.thresholds.update_thresholds()
+
+        pairs = (
+            np.unique(np.concatenate(self.out), axis=0)
+            if self.out
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        stats = self.stats
+        stats.pairs_found = len(pairs)
+        stats.absorb_io(self.disk.stats.delta(io_before))
+        stats.wall_seconds = time.perf_counter() - start
+        cm = self.config.cost_model
+        stats.extras["role_switches"] = float(self.role_switches)
+        stats.extras["splits_to_unit"] = float(self.splits_to_unit)
+        stats.extras["splits_to_element"] = float(self.splits_to_element)
+        stats.extras["exploration_io_cost"] = self.exploration_io
+        stats.extras["data_io_cost"] = self.data_io
+        stats.extras["exploration_cost"] = (
+            self.exploration_io
+            + stats.metadata_comparisons * cm.metadata_test_cost
+        )
+        stats.extras["join_cost"] = (
+            self.data_io + stats.intersection_tests * cm.intersection_test_cost
+        )
+        stats.extras["t_su_final"] = self.thresholds.t_su
+        stats.extras["t_so_final"] = self.thresholds.t_so
+        return JoinResult(pairs=pairs, stats=stats)
+
+    def _load_directory(self) -> None:
+        """Sequentially read both datasets' descriptor directories.
+
+        The paper's join starts from the to-do list of space-node ids
+        collected at indexing time; loading the node/unit descriptor
+        pages once, in disk order, is the corresponding I/O.  All
+        subsequent descriptor accesses then hit the metadata pool
+        instead of tearing the data-read stream with random seeks.
+        """
+        io_before = self.disk.stats.read_cost
+        page_ids: list[int] = []
+        for index in self.indexes:
+            page_ids.extend(int(p) for p in index.nodes.meta_page_ids)
+            page_ids.extend(int(p) for p in index.nodes.desc_page_ids)
+        for page_id in sorted(page_ids):
+            self.meta_pool.read(page_id)
+        self.exploration_io += self.disk.stats.read_cost - io_before
+
+    def _next_pivot(self, side: int) -> int:
+        """Next unchecked node of ``side`` in STR order.
+
+        The scan pointer never passes an unchecked node, so everything
+        before it is checked and the first unchecked node is always at
+        or after it; running off the end would mean the to-do list and
+        the pointer disagree — a bug worth failing loudly on.
+        """
+        unchecked = self.unchecked[side]
+        limit = self.indexes[side].num_nodes
+        pos = self.scan_pos[side]
+        while pos not in unchecked:
+            pos += 1
+            if pos > limit:
+                raise RuntimeError(
+                    "adaptive exploration lost track of its to-do list"
+                )
+        self.scan_pos[side] = pos
+        return pos
+
+    def _mark_checked(self, side: int, node: int) -> None:
+        self.unchecked[side].discard(node)
+
+    # ------------------------------------------------------------------
+    # Charged reads with Figure-14 attribution
+    # ------------------------------------------------------------------
+    def _explore(self, fn, *args):
+        """Run an exploration step, attributing its I/O and CPU cost."""
+        io_before = self.disk.stats.read_cost
+        meta_before = self.stats.metadata_comparisons
+        result = fn(*args)
+        io_delta = self.disk.stats.read_cost - io_before
+        meta_delta = self.stats.metadata_comparisons - meta_before
+        self.exploration_io += io_delta
+        self.thresholds.record_exploration(
+            io_delta
+            + meta_delta * self.config.cost_model.metadata_test_cost,
+            steps=max(meta_delta, 1),
+        )
+        return result
+
+    def _read_element_page(self, page_id: int) -> ElementPage:
+        """Read a data page, attributing the cost to the join side."""
+        io_before = self.disk.stats.read_cost
+        pages_before = self.disk.stats.pages_read
+        page = self.pool.read(int(page_id))
+        delta = self.disk.stats.read_cost - io_before
+        self.data_io += delta
+        pages = self.disk.stats.pages_read - pages_before
+        self.data_pages += pages
+        self.thresholds.record_data_read(delta, pages)
+        if not isinstance(page, ElementPage):
+            raise TypeError(f"page {page_id} is not an element page")
+        return page
+
+    def _read_descriptor_page(self, page_id: int) -> None:
+        """Read a metadata page (unit descriptors), cost to exploration."""
+        io_before = self.disk.stats.read_cost
+        self.meta_pool.read(int(page_id))
+        self.exploration_io += self.disk.stats.read_cost - io_before
+
+    # ------------------------------------------------------------------
+    # Node-level pivot processing
+    # ------------------------------------------------------------------
+    def _process_node(self, g_node: int, allow_role: bool) -> None:
+        guide_idx = self.indexes[self.guide]
+        follower = 1 - self.guide
+        follower_idx = self.indexes[follower]
+
+        e_lo = guide_idx.nodes.mbb_lo[g_node]
+        e_hi = guide_idx.nodes.mbb_hi[g_node]
+        g_lo = e_lo - follower_idx.node_slack
+        g_hi = e_hi + follower_idx.node_slack
+
+        start = self._walk_start(follower_idx, follower, (e_lo + e_hi) / 2.0)
+        found = self._explore(
+            adaptive_walk,
+            follower_idx, start, g_lo, g_hi, self.stats, self.meta_pool,
+        )
+        if found is None:
+            self._mark_checked(self.guide, g_node)
+            return
+        self.walk_pos[follower] = found
+
+        v_guide = max(
+            float(np.prod(e_hi - e_lo)), _EPS_VOLUME
+        )
+        v_follower = max(
+            float(
+                np.prod(
+                    follower_idx.nodes.mbb_hi[found]
+                    - follower_idx.nodes.mbb_lo[found]
+                )
+            ),
+            _EPS_VOLUME,
+        )
+        decision = self.thresholds.decide_node(
+            v_guide / v_follower, allow_role=allow_role
+        )
+
+        if decision.action == "role" and found in self.unchecked[follower]:
+            # Transform 1: the follower is locally sparser — switch the
+            # roles and continue from the element in the new guide
+            # closest to the old pivot (the walk's find).  Switching
+            # onto an already-checked node would be a no-op (its pairs
+            # were reported when it was the pivot), so in that case we
+            # fall through to the normal crawl below, which skips
+            # checked nodes anyway.
+            self.role_switches += 1
+            self.thresholds.note_transformation()
+            self.walk_pos[self.guide] = g_node
+            self.guide = follower
+            self._process_node(found, allow_role=False)
+            return
+
+        checked_view = _CheckedView(self.unchecked[follower])
+        cand_nodes = self._explore(
+            adaptive_crawl,
+            follower_idx, found, e_lo, e_hi, g_lo, g_hi,
+            self.stats, self.meta_pool, checked_view,
+        )
+        if not cand_nodes:
+            self._mark_checked(self.guide, g_node)
+            return
+
+        if decision.action == "split":
+            self.splits_to_unit += 1
+            self.thresholds.note_transformation()
+            self._process_units(g_node, cand_nodes)
+        else:
+            self._process_node_batch(g_node, cand_nodes)
+        self._mark_checked(self.guide, g_node)
+
+    def _walk_start(
+        self,
+        follower_idx: TransformersIndex,
+        follower: int,
+        pivot_center: np.ndarray,
+    ) -> int:
+        """Previous walk position, or a B+-tree Hilbert lookup."""
+        pos = self.walk_pos[follower]
+        if pos is not None:
+            return pos
+        key = int(
+            hilbert_index_batch(
+                pivot_center.reshape(1, -1),
+                follower_idx.space,
+                bits=follower_idx.btree_bits,
+            )[0]
+        )
+        io_before = self.disk.stats.read_cost
+        _, node = follower_idx.btree.nearest(key, self.meta_pool)
+        self.exploration_io += self.disk.stats.read_cost - io_before
+        return int(node)
+
+    # ------------------------------------------------------------------
+    # Batch (node-granularity) join — Transform "none"
+    # ------------------------------------------------------------------
+    def _process_node_batch(
+        self, g_node: int, cand_nodes: list[int]
+    ) -> None:
+        guide_idx = self.indexes[self.guide]
+        follower_idx = self.indexes[1 - self.guide]
+        e_lo = guide_idx.nodes.mbb_lo[g_node]
+        e_hi = guide_idx.nodes.mbb_hi[g_node]
+
+        # Unit descriptors of the pivot node (one descriptor page).
+        self._read_descriptor_page(guide_idx.nodes.desc_page_ids[g_node])
+        g_units = guide_idx.nodes.units[g_node]
+
+        # Candidate units of the follower, filtered by the pivot's MBB.
+        f_units = self._explore(
+            candidate_units,
+            follower_idx, cand_nodes, e_lo, e_hi, self.stats, self.meta_pool,
+        )
+        if f_units.size == 0:
+            return
+
+        # Page-MBB cross filter between the two unit sets (Section V:
+        # "additionally filters elements before the in-memory join").
+        g_keep = np.zeros(len(g_units), dtype=bool)
+        f_keep = np.zeros(len(f_units), dtype=bool)
+        self.stats.metadata_comparisons += len(g_units) * len(f_units)
+        f_lo = follower_idx.units.page_lo[f_units]
+        f_hi = follower_idx.units.page_hi[f_units]
+        for gi, gu in enumerate(g_units):
+            hit = np.all(
+                (f_lo <= guide_idx.units.page_hi[gu])
+                & (f_hi >= guide_idx.units.page_lo[gu]),
+                axis=1,
+            )
+            if hit.any():
+                g_keep[gi] = True
+                f_keep |= hit
+        self.thresholds.record_filter_fraction(
+            1.0 - float(f_keep.sum()) / float(len(f_units))
+        )
+        if not g_keep.any():
+            return
+
+        # Read surviving pages in ascending page-id order: the batch
+        # join is order-independent, and STR neighbours sit on adjacent
+        # pages, so sorted access turns most of these reads sequential.
+        g_pages = [
+            self._read_element_page(pid)
+            for pid in sorted(
+                guide_idx.units.element_page_ids[u] for u in g_units[g_keep]
+            )
+        ]
+        f_pages = [
+            self._read_element_page(pid)
+            for pid in sorted(
+                follower_idx.units.element_page_ids[u] for u in f_units[f_keep]
+            )
+        ]
+        self._join_pages(g_pages, f_pages)
+
+    def _join_pages(
+        self, g_pages: list[ElementPage], f_pages: list[ElementPage]
+    ) -> None:
+        """Grid hash join between two page groups; emit oriented pairs."""
+        if not g_pages or not f_pages:
+            return
+        g_ids = np.concatenate([p.ids for p in g_pages])
+        g_boxes = BoxArray.concatenate([p.boxes for p in g_pages])
+        f_ids = np.concatenate([p.ids for p in f_pages])
+        f_boxes = BoxArray.concatenate([p.boxes for p in f_pages])
+        idx, tests = grid_hash_join(g_boxes, f_boxes)
+        self.stats.intersection_tests += tests
+        if idx.size:
+            self._emit(g_ids[idx[:, 0]], f_ids[idx[:, 1]])
+
+    def _emit(self, guide_ids: np.ndarray, follower_ids: np.ndarray) -> None:
+        """Record result pairs oriented as (id from A, id from B)."""
+        if self.guide == 0:
+            self.out.append(np.column_stack((guide_ids, follower_ids)))
+        else:
+            self.out.append(np.column_stack((follower_ids, guide_ids)))
+
+    # ------------------------------------------------------------------
+    # Unit-granularity processing — Transform "split"
+    # ------------------------------------------------------------------
+    def _process_units(self, g_node: int, cand_nodes: list[int]) -> None:
+        guide_idx = self.indexes[self.guide]
+        follower_idx = self.indexes[1 - self.guide]
+        e_lo = guide_idx.nodes.mbb_lo[g_node]
+        e_hi = guide_idx.nodes.mbb_hi[g_node]
+
+        self._read_descriptor_page(guide_idx.nodes.desc_page_ids[g_node])
+        g_units = guide_idx.nodes.units[g_node]
+
+        f_units = self._explore(
+            candidate_units,
+            follower_idx, cand_nodes, e_lo, e_hi, self.stats, self.meta_pool,
+        )
+        if f_units.size == 0:
+            return
+        f_lo = follower_idx.units.page_lo[f_units]
+        f_hi = follower_idx.units.page_hi[f_units]
+        f_volumes = np.maximum(
+            np.prod(f_hi - f_lo, axis=1), _EPS_VOLUME
+        )
+
+        # Phase 1 — plan: filter each guide unit's candidates and pick
+        # its granularity (unit batch vs single elements), metadata only.
+        plan: list[tuple[int, np.ndarray, bool]] = []
+        used_units = 0
+        for gu in g_units:
+            u_lo = guide_idx.units.page_lo[gu]
+            u_hi = guide_idx.units.page_hi[gu]
+            self.stats.metadata_comparisons += len(f_units)
+            hit = np.all((f_lo <= u_hi) & (f_hi >= u_lo), axis=1)
+            if not hit.any():
+                continue
+            cand = f_units[hit]
+            used_units += int(hit.sum())
+            v_unit = max(float(np.prod(u_hi - u_lo)), _EPS_VOLUME)
+            v_f_unit = float(f_volumes[hit].mean())
+            decision = self.thresholds.decide_unit(v_unit / v_f_unit)
+            split = decision.action == "split"
+            if split:
+                self.splits_to_element += 1
+                self.thresholds.note_transformation()
+            plan.append((int(gu), cand, split))
+        self.thresholds.record_filter_fraction(
+            1.0 - used_units / (len(f_units) * max(len(g_units), 1))
+        )
+        if not plan:
+            return
+
+        # Phase 2 — prefetch the guide pages in one sorted (sequential)
+        # run; the per-unit joins below then hit the buffer pool.
+        g_page_ids = sorted(
+            guide_idx.units.element_page_ids[gu] for gu, _, _ in plan
+        )
+        for pid in g_page_ids:
+            self._read_element_page(pid)
+
+        # Phase 3 — determine exactly which follower pages are needed.
+        # Unit-batch joins need every candidate page; element-level
+        # pivots need only the pages whose page MBB intersects some
+        # individual element ("retrieving only exactly the data
+        # needed", Section III).
+        needed_f: set[int] = set()
+        element_masks: dict[int, np.ndarray] = {}
+        for gu, cand, split in plan:
+            if not split:
+                needed_f.update(
+                    int(follower_idx.units.element_page_ids[u]) for u in cand
+                )
+                continue
+            g_page = self._read_element_page(
+                guide_idx.units.element_page_ids[gu]
+            )
+            c_lo = follower_idx.units.page_lo[cand]
+            c_hi = follower_idx.units.page_hi[cand]
+            self.stats.metadata_comparisons += len(g_page) * len(cand)
+            touched = np.zeros(len(cand), dtype=bool)
+            for e in range(len(g_page)):
+                touched |= np.all(
+                    (c_lo <= g_page.boxes.hi[e])
+                    & (c_hi >= g_page.boxes.lo[e]),
+                    axis=1,
+                )
+            element_masks[int(gu)] = touched
+            needed_f.update(
+                int(follower_idx.units.element_page_ids[u])
+                for u in cand[touched]
+            )
+
+        # Phase 4 — prefetch the follower pages in one sorted run.
+        for pid in sorted(needed_f):
+            self._read_element_page(pid)
+
+        # Phase 5 — join each planned unit from the warm pool.
+        for gu, cand, split in plan:
+            g_page = self._read_element_page(
+                guide_idx.units.element_page_ids[gu]
+            )
+            if split:
+                self._process_elements(
+                    g_page, follower_idx, cand[element_masks[int(gu)]]
+                )
+            else:
+                f_pages = [
+                    self._read_element_page(pid)
+                    for pid in sorted(
+                        follower_idx.units.element_page_ids[u] for u in cand
+                    )
+                ]
+                self._join_pages([g_page], f_pages)
+
+    # ------------------------------------------------------------------
+    # Element-granularity processing — extreme skew (level 2 pivot)
+    # ------------------------------------------------------------------
+    def _process_elements(
+        self,
+        g_page: ElementPage,
+        follower_idx: TransformersIndex,
+        cand_units: np.ndarray,
+    ) -> None:
+        """Use single guide elements as pivots against candidate units.
+
+        "It splits a space unit into its spatial elements, thus using a
+        spatial element as pivot (level 2) while using the space unit
+        as a level of granularity for the follower (level 1)."
+        """
+        f_lo = follower_idx.units.page_lo[cand_units]
+        f_hi = follower_idx.units.page_hi[cand_units]
+        for e in range(len(g_page)):
+            e_lo = g_page.boxes.lo[e]
+            e_hi = g_page.boxes.hi[e]
+            self.stats.metadata_comparisons += len(cand_units)
+            hit = np.all((f_lo <= e_hi) & (f_hi >= e_lo), axis=1)
+            if not hit.any():
+                continue
+            for u in cand_units[hit]:
+                page = self._read_element_page(
+                    follower_idx.units.element_page_ids[u]
+                )
+                self.stats.intersection_tests += len(page)
+                mask = np.all(
+                    (page.boxes.lo <= e_hi) & (page.boxes.hi >= e_lo),
+                    axis=1,
+                )
+                if mask.any():
+                    matched = page.ids[mask]
+                    self._emit(
+                        np.full(matched.size, g_page.ids[e], dtype=np.int64),
+                        matched,
+                    )

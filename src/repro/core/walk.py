@@ -1,0 +1,98 @@
+"""Adaptive Walk — Algorithm 1 of the paper.
+
+Given a pivot (a box from the guide dataset) and a start descriptor in
+the follower dataset, the walk moves through the follower's node
+connectivity graph, always towards the descriptor whose partition MBB
+is closest to the pivot, until it finds one that intersects the pivot
+— or until it can no longer get closer, which (because the partition
+MBBs tile the dataset's space without gaps) proves that no follower
+partition intersects the pivot.
+
+The no-local-minima property the termination rule relies on: if the
+closest descriptor's partition has positive distance to the pivot box,
+the straight segment from its closest point to the pivot immediately
+leaves that partition into an adjacent one containing strictly closer
+points; adjacency is inclusive (touching counts), so that partition is
+in the neighbour list.  Hence greedy descent either reaches distance
+zero or the pivot intersects nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.indexing import TransformersIndex
+from repro.joins.base import JoinStats
+from repro.storage.buffer import BufferPool
+
+
+def node_distance(
+    index: TransformersIndex, node: int, q_lo: np.ndarray, q_hi: np.ndarray
+) -> float:
+    """Euclidean gap between a node's partition MBB and a query box."""
+    below = np.maximum(q_lo - index.nodes.part_hi[node], 0.0)
+    above = np.maximum(index.nodes.part_lo[node] - q_hi, 0.0)
+    gap = np.maximum(below, above)
+    return float(np.sqrt(np.sum(gap * gap)))
+
+
+def touch_node_meta(
+    index: TransformersIndex, node: int, pool: BufferPool
+) -> None:
+    """Charge the read of the metadata page holding ``node``'s descriptor."""
+    pool.read(int(index.nodes.meta_page_ids[index.nodes.meta_page_of[node]]))
+
+
+def adaptive_walk(
+    index: TransformersIndex,
+    start: int,
+    q_lo: np.ndarray,
+    q_hi: np.ndarray,
+    stats: JoinStats,
+    pool: BufferPool,
+) -> int | None:
+    """Walk the node graph of ``index`` towards the query box.
+
+    Parameters
+    ----------
+    index:
+        The follower dataset's index.
+    start:
+        Node to start from (previous walk position, or a B+-tree hit).
+    q_lo, q_hi:
+        The pivot box, already enlarged by the follower's maximum
+        element extent (see :mod:`repro.core.crawl` for why).
+    stats:
+        Metadata comparisons are counted here.
+    pool:
+        Buffer pool through which descriptor reads are charged.
+
+    Returns
+    -------
+    The first node whose partition MBB intersects the box, or ``None``
+    when provably no node does.
+    """
+    if index.num_nodes == 0:
+        return None
+    current = int(start)
+    touch_node_meta(index, current, pool)
+    stats.metadata_comparisons += 1
+    current_dist = node_distance(index, current, q_lo, q_hi)
+    while current_dist > 0.0:
+        best = -1
+        best_dist = current_dist
+        for nb in index.nodes.neighbors[current]:
+            stats.metadata_comparisons += 1
+            d = node_distance(index, int(nb), q_lo, q_hi)
+            if d < best_dist:
+                best = int(nb)
+                best_dist = d
+        if best < 0:
+            # Moving away from the pivot: Algorithm 1's termination —
+            # the pivot "does not intersect with any element of
+            # follower".
+            return None
+        touch_node_meta(index, best, pool)
+        current = best
+        current_dist = best_dist
+    return current

@@ -1,0 +1,31 @@
+"""Workload generators.
+
+Synthetic distributions follow the paper's Section VII-B exactly
+(Uniform, DenseCluster, UniformCluster, MassiveCluster over a 1000³
+space with element sides uniform in (0, 1]); the neuroscience generator
+produces branched axon/dendrite morphologies with the contrasting
+spatial distribution of Figure 3.  All generators are seeded and
+deterministic.
+"""
+
+from repro.datagen.neuro import neuro_datasets
+from repro.datagen.pairs import density_ladder
+from repro.datagen.synthetic import (
+    SPACE,
+    dense_cluster,
+    massive_cluster,
+    scaled_space,
+    uniform_cluster,
+    uniform_dataset,
+)
+
+__all__ = [
+    "SPACE",
+    "scaled_space",
+    "uniform_dataset",
+    "dense_cluster",
+    "uniform_cluster",
+    "massive_cluster",
+    "neuro_datasets",
+    "density_ladder",
+]

@@ -1,0 +1,197 @@
+"""Synthetic neuroscience workload (paper Sections II-B and VII-B).
+
+The paper's real workload is a rat-brain model from the Human Brain
+Project: neurons built from 3-D cylinders, joined axons-vs-dendrites to
+place synapses.  That data is proprietary, so this generator produces
+the closest synthetic equivalent with the join-relevant properties the
+paper describes (DESIGN.md §2 records the substitution):
+
+* neurons are branched morphologies of short cylinder segments grown
+  by seeded random walks;
+* **axons** make up 60 % of the elements and are "predominantly
+  located at the top of the dataset" (Figure 3) — their growth drifts
+  upward and their somas sit high;
+* **dendrites** (40 %) branch locally around somas spread lower in the
+  volume;
+* the two datasets therefore have *similar spatial extent but
+  contrasting local distributions* — the regime TRANSFORMERS targets;
+* every cylinder is approximated by its MBB, exactly like the paper
+  ("we ... approximate the cylinders with minimum bounding boxes").
+
+Two entry points: :func:`neuro_datasets` returns the MBB datasets the
+joins consume (the paper's filter step); :func:`neuro_model`
+additionally retains the cylinder geometry so the refinement step
+(:mod:`repro.refine`) can confirm true synapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.geometry.boxes import BoxArray
+from repro.geometry.cylinder import Cylinder
+from repro.joins.base import Dataset
+from repro.datagen.synthetic import SPACE
+
+#: Paper: "Axon cylinders represent 60% and dendrites 40% of the
+#: combined dataset".
+AXON_FRACTION = 0.6
+
+#: Morphology parameters: segment lengths and radii in the same units
+#: as the 1000³ space, sized so cylinders are comparable to the
+#: synthetic elements (sides ≲ a few units).
+SEGMENT_LENGTH = (1.5, 4.0)
+SEGMENT_RADIUS = (0.15, 0.6)
+SEGMENTS_PER_BRANCH = 24
+
+
+@dataclass(frozen=True)
+class NeuroModel:
+    """A synthetic brain model: datasets plus their cylinder geometry.
+
+    ``axon_cylinders``/``dendrite_cylinders`` map element ids to the
+    :class:`~repro.geometry.cylinder.Cylinder` each MBB approximates —
+    the inputs the refinement step needs.
+    """
+
+    axons: Dataset
+    dendrites: Dataset
+    axon_cylinders: dict[int, Cylinder]
+    dendrite_cylinders: dict[int, Cylinder]
+
+
+def _grow_branch(
+    rng: np.random.Generator,
+    start: np.ndarray,
+    drift: np.ndarray,
+    n_segments: int,
+    space: Box,
+) -> list[Cylinder]:
+    """Random-walk a chain of cylinders from ``start`` with a drift bias."""
+    cylinders: list[Cylinder] = []
+    pos = start.astype(np.float64).copy()
+    lo = np.asarray(space.lo)
+    hi = np.asarray(space.hi)
+    for _ in range(n_segments):
+        direction = rng.normal(0.0, 1.0, size=3) + drift
+        norm = np.linalg.norm(direction)
+        if norm == 0.0:
+            direction = np.array([0.0, 0.0, 1.0])
+            norm = 1.0
+        direction /= norm
+        length = rng.uniform(*SEGMENT_LENGTH)
+        nxt = np.clip(pos + direction * length, lo, hi)
+        radius = rng.uniform(*SEGMENT_RADIUS)
+        cylinders.append(Cylinder(tuple(pos), tuple(nxt), radius))
+        pos = nxt
+    return cylinders
+
+
+def _morphology(
+    rng: np.random.Generator,
+    soma: np.ndarray,
+    drift: np.ndarray,
+    n_elements: int,
+    space: Box,
+) -> list[Cylinder]:
+    """Grow branches from a soma until ``n_elements`` cylinders exist."""
+    cylinders: list[Cylinder] = []
+    branch_start = soma
+    while len(cylinders) < n_elements:
+        n_seg = min(SEGMENTS_PER_BRANCH, n_elements - len(cylinders))
+        cylinders.extend(_grow_branch(rng, branch_start, drift, n_seg, space))
+        # New branch forks from a random point near the soma.
+        branch_start = np.clip(
+            soma + rng.normal(0.0, 3.0, size=3),
+            np.asarray(space.lo),
+            np.asarray(space.hi),
+        )
+    return cylinders
+
+
+def neuro_model(
+    n_total: int,
+    seed: int = 11,
+    space: Box = SPACE,
+    elements_per_neuron: int = 200,
+) -> NeuroModel:
+    """Generate the full brain model (datasets + cylinder geometry).
+
+    Parameters
+    ----------
+    n_total:
+        Combined element count; split 60/40 into axons/dendrites.
+    elements_per_neuron:
+        Cylinders per neuron (the paper's neurons have thousands;
+        scaled with the datasets).
+    """
+    if n_total < 10:
+        raise ValueError("n_total must be >= 10")
+    rng = np.random.default_rng(seed)
+    n_axon = int(round(n_total * AXON_FRACTION))
+    n_dend = n_total - n_axon
+    lo = np.asarray(space.lo)
+    hi = np.asarray(space.hi)
+    extent = hi - lo
+
+    def build(n: int, top_biased: bool) -> list[Cylinder]:
+        cylinders: list[Cylinder] = []
+        while len(cylinders) < n:
+            count = min(elements_per_neuron, n - len(cylinders))
+            soma = lo + rng.uniform(0.0, 1.0, size=3) * extent
+            if top_biased:
+                # Axons: somas high, growth drifting towards the top of
+                # the volume, concentrating elements there.
+                soma[2] = lo[2] + extent[2] * rng.uniform(0.45, 0.95)
+                drift = np.array([0.0, 0.0, 1.1])
+            else:
+                # Dendrites: somas lower, local isotropic branching.
+                soma[2] = lo[2] + extent[2] * rng.uniform(0.05, 0.6)
+                drift = np.array([0.0, 0.0, -0.2])
+            cylinders.extend(_morphology(rng, soma, drift, count, space))
+        return cylinders
+
+    def to_dataset(
+        name: str, cylinders: list[Cylinder], id_offset: int
+    ) -> tuple[Dataset, dict[int, Cylinder]]:
+        # MBBs stay conservative (never clipped): the filter step must
+        # not lose a candidate whose cylinder pokes past the wall.
+        rows = np.empty((len(cylinders), 6))
+        for i, cyl in enumerate(cylinders):
+            mbb = cyl.mbb()
+            rows[i, :3] = mbb.lo
+            rows[i, 3:] = mbb.hi
+        ids = np.arange(id_offset, id_offset + len(cylinders))
+        dataset = Dataset(name, ids, BoxArray(rows[:, :3], rows[:, 3:]))
+        return dataset, {
+            int(ids[i]): cyl for i, cyl in enumerate(cylinders)
+        }
+
+    axons, axon_map = to_dataset("axons", build(n_axon, True), 0)
+    dendrites, dendrite_map = to_dataset(
+        "dendrites", build(n_dend, False), 2_000_000_000
+    )
+    return NeuroModel(
+        axons=axons,
+        dendrites=dendrites,
+        axon_cylinders=axon_map,
+        dendrite_cylinders=dendrite_map,
+    )
+
+
+def neuro_datasets(
+    n_total: int,
+    seed: int = 11,
+    space: Box = SPACE,
+    elements_per_neuron: int = 200,
+) -> tuple[Dataset, Dataset]:
+    """Generate just the (axons, dendrites) MBB dataset pair.
+
+    The filter-step-only view of :func:`neuro_model`, used by the
+    joins and the Figure 12 experiments.
+    """
+    model = neuro_model(n_total, seed, space, elements_per_neuron)
+    return model.axons, model.dendrites

@@ -1,0 +1,32 @@
+"""Geometric primitives used throughout the reproduction.
+
+The paper works with three-dimensional minimum bounding boxes (MBBs):
+spatial elements are boxes, space units and space nodes are summarised
+by boxes, and the filter step of every join tests boxes for
+intersection.  This subpackage provides:
+
+* :class:`~repro.geometry.box.Box` — a single axis-aligned box,
+* :class:`~repro.geometry.boxes.BoxArray` — a vectorised collection,
+* :mod:`~repro.geometry.hilbert` — d-dimensional Hilbert curves
+  (used by TRANSFORMERS' start-descriptor B+-tree),
+* :class:`~repro.geometry.cylinder.Cylinder` — the neuroscience
+  primitive whose MBB approximation feeds the joins.
+"""
+
+from repro.geometry.box import Box
+from repro.geometry.boxes import BoxArray
+from repro.geometry.cylinder import Cylinder
+from repro.geometry.hilbert import (
+    hilbert_index,
+    hilbert_index_batch,
+    hilbert_point,
+)
+
+__all__ = [
+    "Box",
+    "BoxArray",
+    "Cylinder",
+    "hilbert_index",
+    "hilbert_index_batch",
+    "hilbert_point",
+]

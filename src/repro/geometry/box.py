@@ -1,0 +1,234 @@
+"""Axis-aligned minimum bounding boxes (MBBs).
+
+A :class:`Box` is the fundamental spatial primitive of the paper: the
+filter step of every spatial join tests pairs of boxes for
+intersection, TRANSFORMERS' *space descriptors* store a page MBB and a
+partition MBB per space unit, and the role/layout transformations are
+driven by the volumes of such boxes.
+
+Boxes are immutable, hashable and dimension-generic (the paper uses 3-D
+data; the test-suite also exercises 2-D).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+class Box:
+    """An immutable axis-aligned box ``[lo, hi]`` in d dimensions.
+
+    ``lo`` and ``hi`` are per-axis inclusive bounds.  Degenerate boxes
+    (``lo == hi`` on some axis) are allowed — they behave as points or
+    plates — but ``lo[i] > hi[i]`` is rejected.
+
+    >>> a = Box((0, 0, 0), (2, 2, 2))
+    >>> b = Box((1, 1, 1), (3, 3, 3))
+    >>> a.intersects(b)
+    True
+    >>> a.intersection(b)
+    Box(lo=(1.0, 1.0, 1.0), hi=(2.0, 2.0, 2.0))
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]) -> None:
+        lo_t = tuple(float(v) for v in lo)
+        hi_t = tuple(float(v) for v in hi)
+        if len(lo_t) != len(hi_t):
+            raise ValueError(
+                f"lo has {len(lo_t)} dimensions but hi has {len(hi_t)}"
+            )
+        if not lo_t:
+            raise ValueError("boxes must have at least one dimension")
+        for axis, (a, b) in enumerate(zip(lo_t, hi_t)):
+            if a > b:
+                raise ValueError(
+                    f"lo must not exceed hi (axis {axis}: {a} > {b})"
+                )
+        object.__setattr__(self, "lo", lo_t)
+        object.__setattr__(self, "hi", hi_t)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Box instances are immutable")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.lo)
+
+    @property
+    def center(self) -> tuple[float, ...]:
+        """The box's centre point."""
+        return tuple((a + b) / 2.0 for a, b in zip(self.lo, self.hi))
+
+    @property
+    def extents(self) -> tuple[float, ...]:
+        """Per-axis side lengths."""
+        return tuple(b - a for a, b in zip(self.lo, self.hi))
+
+    def volume(self) -> float:
+        """Product of the side lengths (area in 2-D, volume in 3-D)."""
+        out = 1.0
+        for a, b in zip(self.lo, self.hi):
+            out *= b - a
+        return out
+
+    def margin(self) -> float:
+        """Sum of the side lengths (the R*-tree margin metric)."""
+        return sum(b - a for a, b in zip(self.lo, self.hi))
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Box") -> bool:
+        """True when the closed boxes share at least one point.
+
+        Touching boxes count as intersecting, mirroring the inclusive
+        semantics used by the paper's filter step (a synapse candidate
+        is reported when MBBs touch).
+        """
+        self._check_ndim(other)
+        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
+            if a_lo > b_hi or b_lo > a_hi:
+                return False
+        return True
+
+    def contains(self, other: "Box") -> bool:
+        """True when ``other`` lies entirely inside this box."""
+        self._check_ndim(other)
+        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
+            if b_lo < a_lo or b_hi > a_hi:
+                return False
+        return True
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True when ``point`` lies inside (or on the boundary of) the box."""
+        if len(point) != self.ndim:
+            raise ValueError("point dimensionality mismatch")
+        for a_lo, a_hi, p in zip(self.lo, self.hi, point):
+            if p < a_lo or p > a_hi:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def union(self, other: "Box") -> "Box":
+        """The smallest box enclosing both boxes."""
+        self._check_ndim(other)
+        return Box(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlapping region, or ``None`` when disjoint."""
+        self._check_ndim(other)
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        for a, b in zip(lo, hi):
+            if a > b:
+                return None
+        return Box(lo, hi)
+
+    def enlarged(self, delta: float) -> "Box":
+        """The box grown by ``delta`` on every side.
+
+        Enlarging objects by a distance predicate turns a distance join
+        into a plain intersection join (paper, Section VIII), so this
+        is the hook for distance-join support.
+        """
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        return Box(
+            tuple(a - delta for a in self.lo),
+            tuple(b + delta for b in self.hi),
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_distance(self, other: "Box") -> float:
+        """Euclidean distance between the closest points of two boxes.
+
+        Zero when the boxes intersect.  This is the distance used by
+        TRANSFORMERS' adaptive walk (Algorithm 1) to steer towards the
+        pivot.
+        """
+        self._check_ndim(other)
+        gaps = []
+        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
+            if b_lo > a_hi:
+                gaps.append(b_lo - a_hi)
+            elif a_lo > b_hi:
+                gaps.append(a_lo - b_hi)
+        # math.hypot rescales internally, so subnormal gaps do not
+        # underflow to a spurious zero distance.
+        return math.hypot(*gaps) if gaps else 0.0
+
+    def min_distance_to_point(self, point: Sequence[float]) -> float:
+        """Euclidean distance from the box to ``point`` (0 if inside)."""
+        if len(point) != self.ndim:
+            raise ValueError("point dimensionality mismatch")
+        gaps = []
+        for a_lo, a_hi, p in zip(self.lo, self.hi, point):
+            if p < a_lo:
+                gaps.append(a_lo - p)
+            elif p > a_hi:
+                gaps.append(p - a_hi)
+        return math.hypot(*gaps) if gaps else 0.0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_center(center: Sequence[float], extents: Sequence[float]) -> "Box":
+        """Build a box from its centre and per-axis side lengths."""
+        if len(center) != len(extents):
+            raise ValueError("center/extents dimensionality mismatch")
+        half = [e / 2.0 for e in extents]
+        return Box(
+            tuple(c - h for c, h in zip(center, half)),
+            tuple(c + h for c, h in zip(center, half)),
+        )
+
+    @staticmethod
+    def union_all(boxes: Iterable["Box"]) -> "Box":
+        """The smallest box enclosing every box in ``boxes``.
+
+        Raises :class:`ValueError` on an empty iterable — there is no
+        sensible empty MBB.
+        """
+        it = iter(boxes)
+        try:
+            out = next(it)
+        except StopIteration:
+            raise ValueError("union_all of an empty iterable") from None
+        for box in it:
+            out = out.union(box)
+        return out
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def _check_ndim(self, other: "Box") -> None:
+        if self.ndim != other.ndim:
+            raise ValueError(
+                f"dimensionality mismatch: {self.ndim} vs {other.ndim}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Box(lo={self.lo}, hi={self.hi})"

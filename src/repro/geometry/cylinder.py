@@ -1,0 +1,66 @@
+"""Cylinder primitives for the neuroscience workload.
+
+The motivating application (paper, Section II-B) models neurons as
+millions of small 3-D cylinders; axon/dendrite intersections mark
+synapse locations.  Like the paper's evaluation we approximate every
+cylinder by its minimum bounding box and run the join's filter step on
+the boxes (Section VII-B, "Approach": refinement is application
+specific and excluded from measurement).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.geometry.box import Box
+
+
+class Cylinder:
+    """A capped cylinder given by two endpoints and a radius.
+
+    >>> c = Cylinder((0, 0, 0), (0, 0, 2), 0.5)
+    >>> c.mbb()
+    Box(lo=(-0.5, -0.5, -0.5), hi=(0.5, 0.5, 2.5))
+    """
+
+    __slots__ = ("p0", "p1", "radius")
+
+    def __init__(
+        self,
+        p0: Sequence[float],
+        p1: Sequence[float],
+        radius: float,
+    ) -> None:
+        p0_t = tuple(float(v) for v in p0)
+        p1_t = tuple(float(v) for v in p1)
+        if len(p0_t) != 3 or len(p1_t) != 3:
+            raise ValueError("cylinders are three-dimensional")
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        object.__setattr__(self, "p0", p0_t)
+        object.__setattr__(self, "p1", p1_t)
+        object.__setattr__(self, "radius", float(radius))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Cylinder instances are immutable")
+
+    @property
+    def length(self) -> float:
+        """Distance between the two endpoints."""
+        return math.dist(self.p0, self.p1)
+
+    def mbb(self) -> Box:
+        """Minimum bounding box of the cylinder.
+
+        A conservative (exact for axis-aligned, slightly loose for
+        oblique cylinders) box: the segment's box grown by the radius
+        on every axis.  Looseness only adds candidates to the filter
+        step, never loses one, so join correctness is preserved.
+        """
+        lo = tuple(min(a, b) - self.radius for a, b in zip(self.p0, self.p1))
+        hi = tuple(max(a, b) + self.radius for a, b in zip(self.p0, self.p1))
+        return Box(lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cylinder(p0={self.p0}, p1={self.p1}, r={self.radius})"

@@ -1,0 +1,97 @@
+"""ASCII charts for figure-like experiment output.
+
+The paper's figures are log-scale join-time curves; the harness can
+render the same visual shape directly in the terminal so a reader can
+*see* TRANSFORMERS' flat robustness curve without leaving the shell::
+
+    join cost (log scale)
+    28954 |                R
+          |R
+     7900 | P  P        P  P
+          |    G  RG PG RG
+     2088 |G      P  R    G
+          | T  T        T T
+      451 |    ...
+
+Used by ``python -m repro.harness.experiments fig10 --chart``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def ascii_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    log_scale: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render one character-mark per (x, series) point on a value grid.
+
+    Each series is marked with the first letter of its name; collisions
+    on the same cell keep the earlier series' mark (series order =
+    drawing priority, so pass the most important series first).
+
+    >>> print(ascii_chart([1, 2], {"A": [1.0, 10.0]}, height=3,
+    ...                   log_scale=True))           # doctest: +SKIP
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("need at least one series")
+    width = len(x_labels)
+    for name in names:
+        if len(series[name]) != width:
+            raise ValueError(f"series {name!r} length != len(x_labels)")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+
+    values = [v for name in names for v in series[name]]
+    if any(v <= 0 for v in values) and log_scale:
+        raise ValueError("log scale requires positive values")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo * 1.01 + 1e-9
+
+    def row_of(value: float) -> int:
+        if log_scale:
+            frac = (math.log(value) - math.log(lo)) / (
+                math.log(hi) - math.log(lo)
+            )
+        else:
+            frac = (value - lo) / (hi - lo)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    # grid[r][c], row 0 at the bottom.
+    grid = [[" "] * width for _ in range(height)]
+    for name in reversed(names):  # earlier series drawn last → on top
+        mark = name[0].upper()
+        for c, v in enumerate(series[name]):
+            grid[row_of(v)][c] = mark
+
+    def fmt(v: float) -> str:
+        return f"{v:,.0f}" if v >= 10 else f"{v:.2g}"
+
+    label_width = max(len(fmt(hi)), len(fmt(lo)))
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height - 1, -1, -1):
+        if r == height - 1:
+            label = fmt(hi)
+        elif r == 0:
+            label = fmt(lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "  ".join(grid[r]))
+    axis = " " * label_width + " +" + "-" * (3 * width - 2)
+    lines.append(axis)
+    x_line = " " * label_width + "  " + "  ".join(
+        str(x)[0] for x in x_labels
+    )
+    lines.append(x_line)
+    legend = "   ".join(f"{n[0].upper()}={n}" for n in names)
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Paper-style plain-text reporting.
+
+The harness prints the same rows/series the paper's tables and figures
+show; :func:`format_table` renders aligned text tables, and
+:func:`format_series` prints one labelled series per algorithm the way
+the figures' curves read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    >>> print(format_table([{"a": 1, "b": "x"}], title="t"))
+    t
+    a | b
+    --+--
+    1 | x
+    """
+    if not rows:
+        return (title + "\n(empty)") if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in body:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render figure-like series: one row per algorithm, one col per x.
+
+    >>> print(format_series("n", [1, 2], {"ALG": [0.5, 1.0]}))
+    n   | 1   | 2
+    ----+-----+--
+    ALG | 0.5 | 1
+    """
+    rows = []
+    for name, values in series.items():
+        row: dict[str, object] = {x_label: name}
+        for x, v in zip(x_values, values):
+            row[str(x)] = v
+        rows.append(row)
+    columns = [x_label] + [str(x) for x in x_values]
+    out = format_table(rows, columns)
+    # Widen the first column a little for readability.
+    if title:
+        out = title + "\n" + out
+    return out
+
+
+def speedup(baseline: float, value: float) -> float:
+    """How many times faster ``value`` is than ``baseline`` (>1 = faster)."""
+    if value <= 0:
+        return float("inf")
+    return baseline / value
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    return str(value)

@@ -1,0 +1,164 @@
+"""Single-run machinery: one algorithm, one dataset pair, cold caches.
+
+Mirrors the paper's measurement protocol (Section VII-A): each
+algorithm gets its own disk, the index phase is timed separately from
+the join phase, and caches are cold at the start of each phase ("we
+clear OS caches and disk buffers before each experiment").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.joins.base import (
+    CostModel,
+    Dataset,
+    JoinResult,
+    JoinStats,
+    SpatialJoinAlgorithm,
+)
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+#: Default page size for scaled-down experiments.  The paper uses 8 KB
+#: pages on datasets of 10⁸ elements; scaling both the datasets (to
+#: ~10⁴) and the page (to 1 KB ≈ 18 elements) keeps the page count and
+#: hierarchy depth in a realistic regime.  See DESIGN.md §2.
+EXPERIMENT_PAGE_SIZE = 1024
+
+
+def experiment_disk_model(page_size: int = EXPERIMENT_PAGE_SIZE) -> DiskModel:
+    """The disk model used by all experiments (one shared definition)."""
+    return DiskModel(page_size=page_size)
+
+
+def pbsm_resolution(n_total: int, page_size: int = EXPERIMENT_PAGE_SIZE) -> int:
+    """PBSM grid resolution heuristic standing in for the paper's sweep.
+
+    The paper picks the number of partitions per dataset pair with a
+    parameter sweep (10³ cells for 10⁸-element synthetic data, 20³ for
+    neuroscience).  The balance it strikes — enough elements per cell
+    to fill pages, few enough to keep the in-memory join cheap — scales
+    as the cube root of elements per cell; we target about four data
+    pages per cell and clamp to a sane range.
+    """
+    from repro.storage.page import element_page_capacity
+
+    per_cell = 4 * element_page_capacity(page_size, 3)
+    cells = max(1, n_total // per_cell)
+    return max(2, min(30, round(cells ** (1.0 / 3.0))))
+
+
+@dataclass
+class RunRecord:
+    """Everything measured for one (algorithm, dataset-pair) run."""
+
+    algorithm: str
+    dataset_a: str
+    dataset_b: str
+    n_a: int
+    n_b: int
+    build_stats_a: JoinStats
+    build_stats_b: JoinStats
+    join_stats: JoinStats
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    @property
+    def pairs_found(self) -> int:
+        """Result pairs reported by the join."""
+        return self.join_stats.pairs_found
+
+    @property
+    def index_cost(self) -> float:
+        """Simulated indexing time (both datasets)."""
+        return self.build_stats_a.total_cost(self.cost_model) + (
+            self.build_stats_b.total_cost(self.cost_model)
+        )
+
+    @property
+    def join_cost(self) -> float:
+        """Simulated join time (the paper's headline metric)."""
+        return self.join_stats.total_cost(self.cost_model)
+
+    @property
+    def join_io_cost(self) -> float:
+        """Simulated join-phase I/O time (Fig. 11/12 "I/O" bars)."""
+        return self.join_stats.io_cost
+
+    @property
+    def join_cpu_cost(self) -> float:
+        """Simulated join-phase CPU time (Fig. 11/12 "Join" bars)."""
+        return self.join_stats.cpu_cost(self.cost_model)
+
+    @property
+    def intersection_tests(self) -> int:
+        """Element comparisons, incl. metadata for TRANSFORMERS.
+
+        The paper's Figure 11 note: "For TRANSFORMERS this ... also
+        includes metadata comparisons."
+        """
+        return (
+            self.join_stats.intersection_tests
+            + self.join_stats.metadata_comparisons
+        )
+
+    def row(self) -> dict[str, float]:
+        """Flat reporting row."""
+        return {
+            "algorithm": self.algorithm,
+            "n_a": self.n_a,
+            "n_b": self.n_b,
+            "pairs": self.pairs_found,
+            "index_cost": round(self.index_cost, 1),
+            "join_cost": round(self.join_cost, 1),
+            "join_io": round(self.join_io_cost, 1),
+            "join_cpu": round(self.join_cpu_cost, 1),
+            "tests": self.intersection_tests,
+            "join_wall_s": round(self.join_stats.wall_seconds, 3),
+        }
+
+
+def run_pair(
+    algorithm: SpatialJoinAlgorithm,
+    a: Dataset,
+    b: Dataset,
+    disk_model: DiskModel | None = None,
+    cost_model: CostModel | None = None,
+) -> RunRecord:
+    """Index both datasets and join them on a fresh simulated disk.
+
+    Disk statistics are reset between the two phases, so build and join
+    I/O cannot bleed into each other, and the join starts with the cold
+    caches the paper mandates.
+    """
+    disk = SimulatedDisk(disk_model or experiment_disk_model())
+    index_a, build_a = algorithm.build_index(disk, a)
+    index_b, build_b = algorithm.build_index(disk, b)
+    disk.reset_stats()
+    result: JoinResult = algorithm.join(index_a, index_b)
+    return RunRecord(
+        algorithm=algorithm.name,
+        dataset_a=a.name,
+        dataset_b=b.name,
+        n_a=len(a),
+        n_b=len(b),
+        build_stats_a=build_a,
+        build_stats_b=build_b,
+        join_stats=result.stats,
+        cost_model=cost_model or CostModel(),
+    )
+
+
+def geometric_sizes(start: int, stop: int, steps: int) -> list[int]:
+    """``steps`` geometrically spaced integer sizes from start to stop."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if steps == 1:
+        return [start]
+    ratio = (stop / start) ** (1.0 / (steps - 1))
+    return [round(start * ratio**i) for i in range(steps)]
+
+
+def scale_counts(counts: list[int], scale: float) -> list[int]:
+    """Scale experiment sizes by a factor, keeping them >= 10."""
+    return [max(10, math.ceil(c * scale)) for c in counts]

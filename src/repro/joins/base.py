@@ -1,0 +1,209 @@
+"""Common interface, statistics and cost model for all join algorithms.
+
+Every disk-based join in the repository (PBSM, synchronized R-tree,
+GIPSY, TRANSFORMERS, indexed nested loop) implements
+:class:`SpatialJoinAlgorithm`: an index phase that writes structures to
+a simulated disk and a join phase that reads them back.  Both phases
+report a :class:`JoinStats`, which carries exactly the quantities the
+paper's figures break down:
+
+* page I/O split into sequential vs. random reads (Figs. 11/12 "I/O"),
+* element-level intersection tests (Figs. 11/12 right panels),
+* metadata comparisons (the paper notes TRANSFORMERS' counts "also
+  include metadata comparisons"),
+* wall-clock seconds, and
+* a *simulated time* combining I/O and CPU through :class:`CostModel`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.boxes import BoxArray
+from repro.storage.disk import DiskStats, SimulatedDisk
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Converts work counters into simulated time.
+
+    Unit: one sequential 8 KB page read = 1.0 cost unit (≈80 µs on the
+    paper's 10kRPM SAS testbed at ~100 MB/s sequential throughput).
+    An MBB intersection test costs ``intersection_test_cost`` units;
+    the default 0.002 corresponds to ≈160 ns per test, the effective
+    rate of a cache-unfriendly pointer-chasing C++ implementation.
+    Metadata (descriptor/node MBB) comparisons are the same machine
+    operation, hence the same default.
+
+    These two constants do not change who wins any experiment — they
+    shift the I/O:CPU balance inside a bar, which is why the harness
+    exposes them for sensitivity sweeps (see the ablation benches).
+    """
+
+    intersection_test_cost: float = 0.002
+    metadata_test_cost: float = 0.002
+
+    def cpu_cost(self, intersection_tests: int, metadata_comparisons: int) -> float:
+        """Simulated CPU time of the given comparison counts."""
+        return (
+            intersection_tests * self.intersection_test_cost
+            + metadata_comparisons * self.metadata_test_cost
+        )
+
+
+@dataclass
+class JoinStats:
+    """Work performed by one phase (index build or join) of an algorithm."""
+
+    algorithm: str = ""
+    phase: str = "join"
+    pairs_found: int = 0
+    intersection_tests: int = 0
+    metadata_comparisons: int = 0
+    pages_read: int = 0
+    seq_reads: int = 0
+    random_reads: int = 0
+    pages_written: int = 0
+    io_cost: float = 0.0
+    wall_seconds: float = 0.0
+    #: Algorithm-specific extra metrics (e.g. TRANSFORMERS transformation
+    #: counts, PBSM replication factor).  Values are floats for uniform
+    #: reporting.
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def absorb_io(self, delta: DiskStats) -> None:
+        """Fold a disk-stats delta into this record."""
+        self.pages_read += delta.pages_read
+        self.seq_reads += delta.seq_reads
+        self.random_reads += delta.random_reads
+        self.pages_written += delta.pages_written
+        self.io_cost += delta.total_cost
+
+    def cpu_cost(self, cost_model: CostModel) -> float:
+        """Simulated CPU time of this phase."""
+        return cost_model.cpu_cost(
+            self.intersection_tests, self.metadata_comparisons
+        )
+
+    def total_cost(self, cost_model: CostModel) -> float:
+        """Simulated time: I/O plus CPU (the paper's join-time analogue)."""
+        return self.io_cost + self.cpu_cost(cost_model)
+
+    def as_dict(self, cost_model: CostModel | None = None) -> dict[str, float]:
+        """Flat dictionary for reporting; adds costs when a model is given."""
+        out: dict[str, float] = {
+            "pairs_found": self.pairs_found,
+            "intersection_tests": self.intersection_tests,
+            "metadata_comparisons": self.metadata_comparisons,
+            "pages_read": self.pages_read,
+            "seq_reads": self.seq_reads,
+            "random_reads": self.random_reads,
+            "pages_written": self.pages_written,
+            "io_cost": self.io_cost,
+            "wall_seconds": self.wall_seconds,
+        }
+        if cost_model is not None:
+            out["cpu_cost"] = self.cpu_cost(cost_model)
+            out["total_cost"] = self.total_cost(cost_model)
+        out.update(self.extras)
+        return out
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named spatial dataset: element ids and their MBBs.
+
+    Ids are globally meaningful (the join result pairs them up), so two
+    datasets being joined must not share ids unless they really are the
+    same elements.
+    """
+
+    name: str
+    ids: np.ndarray
+    boxes: BoxArray
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ValueError("ids must be one-dimensional")
+        if len(ids) != len(self.boxes):
+            raise ValueError("ids and boxes must have equal length")
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError("dataset ids must be unique")
+        object.__setattr__(self, "ids", ids)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the elements."""
+        return self.boxes.ndim
+
+
+@dataclass
+class JoinResult:
+    """Outcome of a join: id pairs plus the work it took."""
+
+    pairs: np.ndarray  # (m, 2) int64: (id from A, id from B)
+    stats: JoinStats
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        """The result as a Python set (for comparisons in tests)."""
+        return {(int(a), int(b)) for a, b in self.pairs}
+
+
+def canonical_pairs(pairs: np.ndarray) -> np.ndarray:
+    """Sort and deduplicate an ``(m, 2)`` id-pair array.
+
+    Algorithms that replicate elements (PBSM's multiple assignment) can
+    report a pair several times; this is the final deduplication step.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (m, 2)")
+    return np.unique(pairs, axis=0)
+
+
+class SpatialJoinAlgorithm(ABC):
+    """Base class for disk-based spatial join algorithms.
+
+    Subclasses allocate their index structures on the
+    :class:`~repro.storage.disk.SimulatedDisk` handed to
+    :meth:`build_index` and read them back through buffer pools during
+    :meth:`join`, so that every page access is accounted.
+    """
+
+    #: Short name used in reports ("PBSM", "R-TREE", ...).
+    name: str = "abstract"
+
+    @abstractmethod
+    def build_index(self, disk: SimulatedDisk, dataset: Dataset) -> tuple[object, JoinStats]:
+        """Index one dataset; return ``(index_handle, build_stats)``.
+
+        The handle is opaque to callers and is passed back to
+        :meth:`join`.  Implementations must reset the disk's stats at
+        entry or snapshot/delta them so the returned stats cover only
+        this build.
+        """
+
+    @abstractmethod
+    def join(self, index_a: object, index_b: object) -> JoinResult:
+        """Join two datasets previously indexed by this algorithm."""
+
+    # Convenience used by the harness and examples.
+    def run(
+        self, disk: SimulatedDisk, a: Dataset, b: Dataset
+    ) -> tuple[JoinResult, JoinStats, JoinStats]:
+        """Index both datasets and join them.
+
+        Returns ``(join_result, build_stats_a, build_stats_b)``.
+        """
+        index_a, build_a = self.build_index(disk, a)
+        index_b, build_b = self.build_index(disk, b)
+        return self.join(index_a, index_b), build_a, build_b

@@ -1,0 +1,50 @@
+"""Brute-force nested-loop join — the correctness oracle.
+
+Every other algorithm in the repository is tested (including
+property-based tests) against this one: the filter step of a spatial
+join has exactly one correct answer, the set of id pairs whose MBBs
+intersect, and this module computes it by exhaustive comparison.
+
+It is also a legitimate (terrible) baseline: O(|A|·|B|) comparisons
+with both datasets scanned sequentially.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.joins.base import Dataset, JoinResult, JoinStats
+
+
+def brute_force_pairs(a: Dataset, b: Dataset) -> np.ndarray:
+    """All ``(id_a, id_b)`` with intersecting MBBs, sorted, deduplicated."""
+    idx = a.boxes.pairwise_intersections(b.boxes)
+    if idx.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.column_stack((a.ids[idx[:, 0]], b.ids[idx[:, 1]]))
+    return np.unique(pairs, axis=0)
+
+
+class BruteForceJoin:
+    """Oracle join with the standard result/stats shape.
+
+    Unlike the disk-based algorithms this one has no index phase and
+    takes :class:`~repro.joins.base.Dataset` objects directly.
+    """
+
+    name = "BRUTE"
+
+    def join(self, a: Dataset, b: Dataset) -> JoinResult:
+        """Exhaustively compare every pair of elements."""
+        start = time.perf_counter()
+        pairs = brute_force_pairs(a, b)
+        stats = JoinStats(
+            algorithm=self.name,
+            phase="join",
+            pairs_found=len(pairs),
+            intersection_tests=len(a) * len(b),
+            wall_seconds=time.perf_counter() - start,
+        )
+        return JoinResult(pairs=pairs, stats=stats)

@@ -1,0 +1,22 @@
+"""Refinement step for spatial joins.
+
+The paper measures only the *filter* step ("the refinement step is
+application specific and we focus on the filtering like most spatial
+join methods", Section VII-B) — but the motivating application needs
+refinement to actually place synapses: an axon/dendrite MBB overlap is
+only a *candidate*; the synapse exists where the cylinders themselves
+intersect.  This subpackage supplies that application-specific half:
+
+* :func:`~repro.refine.cylinders.cylinders_intersect` — exact
+  capped-cylinder intersection via segment/segment distance;
+* :func:`~repro.refine.cylinders.refine_pairs` — filter a candidate
+  pair list down to true intersections.
+"""
+
+from repro.refine.cylinders import (
+    cylinders_intersect,
+    refine_pairs,
+    segment_distance,
+)
+
+__all__ = ["cylinders_intersect", "refine_pairs", "segment_distance"]

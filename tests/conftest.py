@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    dense_cluster,
+    massive_cluster,
+    scaled_space,
+    uniform_cluster,
+    uniform_dataset,
+)
+from repro.joins.base import Dataset
+from repro.joins.brute import brute_force_pairs
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+#: Page size used across the algorithm tests: small enough that even a
+#: few-thousand-element dataset exercises multi-page, multi-node paths.
+TEST_PAGE_SIZE = 1024
+
+
+def make_disk() -> SimulatedDisk:
+    """A fresh simulated disk with the test page size."""
+    return SimulatedDisk(DiskModel(page_size=TEST_PAGE_SIZE))
+
+
+def dataset_pair(
+    kind: str, na: int, nb: int, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Build one of the paper's dataset-pair archetypes, scaled."""
+    space = scaled_space(na + nb)
+    a_gen = {
+        "uniform": uniform_dataset,
+        "dense": dense_cluster,
+        "massive": massive_cluster,
+        "uclust": uniform_cluster,
+    }
+    gen_a, gen_b = {
+        "uniform": ("uniform", "uniform"),
+        "contrast": ("uniform", "dense"),
+        "clustered": ("dense", "uclust"),
+        "massive": ("massive", "uniform"),
+    }[kind]
+    a = a_gen[gen_a](na, seed=seed * 2 + 1, name="A", space=space)
+    b = a_gen[gen_b](
+        nb, seed=seed * 2 + 2, name="B", id_offset=10**9, space=space
+    )
+    return a, b
+
+
+def oracle_pairs(a: Dataset, b: Dataset) -> set[tuple[int, int]]:
+    """The exact filter-step answer, as a set of id pairs."""
+    return {tuple(p) for p in brute_force_pairs(a, b)}
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    return make_disk()

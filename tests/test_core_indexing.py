@@ -1,0 +1,132 @@
+"""Tests for the TRANSFORMERS index structure (Section IV invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexing import build_transformers_index
+from repro.storage.buffer import BufferPool
+
+from tests.conftest import dataset_pair, make_disk
+
+
+def build(kind="clustered", n=1500, seed=41):
+    a, _ = dataset_pair(kind, n, 10, seed=seed)
+    disk = make_disk()
+    index, stats = build_transformers_index(disk, a)
+    return a, disk, index, stats
+
+
+class TestHierarchy:
+    def test_every_element_in_exactly_one_unit(self):
+        a, disk, index, _ = build()
+        seen: list[int] = []
+        for page_id in index.units.element_page_ids:
+            seen.extend(disk.peek(int(page_id)).ids.tolist())
+        assert sorted(seen) == sorted(a.ids.tolist())
+
+    def test_every_unit_in_exactly_one_node(self):
+        _, _, index, _ = build()
+        seen = np.concatenate(index.nodes.units)
+        assert sorted(seen.tolist()) == list(range(index.num_units))
+
+    def test_parent_node_consistent(self):
+        _, _, index, _ = build()
+        for k, members in enumerate(index.nodes.units):
+            assert np.all(index.units.parent_node[members] == k)
+
+    def test_unit_page_mbb_tight(self):
+        a, disk, index, _ = build(seed=42)
+        for t in range(index.num_units):
+            page = disk.peek(int(index.units.element_page_ids[t]))
+            mbb = page.boxes.mbb()
+            assert np.allclose(index.units.page_lo[t], mbb.lo)
+            assert np.allclose(index.units.page_hi[t], mbb.hi)
+
+    def test_node_mbb_covers_member_units(self):
+        _, _, index, _ = build(seed=43)
+        for k, members in enumerate(index.nodes.units):
+            assert np.all(
+                index.nodes.mbb_lo[k] <= index.units.page_lo[members] + 1e-12
+            )
+            assert np.all(
+                index.nodes.mbb_hi[k] >= index.units.page_hi[members] - 1e-12
+            )
+
+    def test_node_element_counts(self):
+        _, _, index, _ = build(seed=44)
+        assert index.nodes.element_counts.sum() == index.num_elements
+
+    def test_capacities_exposed(self):
+        _, _, index, _ = build()
+        assert index.elements_per_unit >= 1
+        assert index.units_per_node >= 2
+        assert np.all(index.units.counts <= index.elements_per_unit)
+        assert all(
+            len(m) <= index.units_per_node for m in index.nodes.units
+        )
+
+
+class TestPartitionTiling:
+    def test_node_partitions_tile_space(self):
+        a, _, index, _ = build(seed=45)
+        space = a.boxes.mbb()
+        vol = sum(
+            float(np.prod(index.nodes.part_hi[k] - index.nodes.part_lo[k]))
+            for k in range(index.num_nodes)
+        )
+        assert vol == pytest.approx(space.volume(), rel=1e-9)
+
+    def test_unit_partitions_tile_space(self):
+        a, _, index, _ = build(seed=46)
+        space = a.boxes.mbb()
+        vol = float(
+            np.prod(index.units.part_hi - index.units.part_lo, axis=1).sum()
+        )
+        assert vol == pytest.approx(space.volume(), rel=1e-9)
+
+    def test_node_slack_bounds_overhang(self):
+        _, _, index, _ = build(seed=47)
+        overhang_lo = np.maximum(
+            index.nodes.part_lo - index.nodes.mbb_lo, 0.0
+        ).max(axis=0)
+        overhang_hi = np.maximum(
+            index.nodes.mbb_hi - index.nodes.part_hi, 0.0
+        ).max(axis=0)
+        assert np.all(index.node_slack >= overhang_lo - 1e-12)
+        assert np.all(index.node_slack >= overhang_hi - 1e-12)
+
+
+class TestConnectivity:
+    def test_neighbors_symmetric_and_irreflexive(self):
+        _, _, index, _ = build(seed=48)
+        for k, ns in enumerate(index.nodes.neighbors):
+            assert k not in set(ns.tolist())
+            for j in ns:
+                assert k in index.nodes.neighbors[int(j)]
+
+    def test_touching_partitions_are_neighbors(self):
+        _, _, index, _ = build(seed=49)
+        n = index.num_nodes
+        for i in range(n):
+            for j in range(i + 1, n):
+                touches = np.all(
+                    (index.nodes.part_lo[i] <= index.nodes.part_hi[j])
+                    & (index.nodes.part_hi[i] >= index.nodes.part_lo[j])
+                )
+                if touches:
+                    assert j in set(index.nodes.neighbors[i].tolist())
+
+
+class TestBTree:
+    def test_btree_indexes_all_nodes(self):
+        _, disk, index, _ = build(seed=50)
+        pool = BufferPool(disk, 512)
+        values = sorted(v for _, v in index.btree.items(pool))
+        assert values == list(range(index.num_nodes))
+
+    def test_build_stats_report_structure(self):
+        _, _, index, stats = build(seed=51)
+        assert stats.extras["space_units"] == index.num_units
+        assert stats.extras["space_nodes"] == index.num_nodes
+        assert stats.pages_written > 0
+        assert stats.phase == "index"

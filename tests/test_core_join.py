@@ -1,0 +1,203 @@
+"""End-to-end tests for the TRANSFORMERS adaptive join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TransformersConfig, TransformersJoin
+from repro.datagen import scaled_space, uniform_dataset
+from repro.joins.base import Dataset
+from repro.geometry.boxes import BoxArray
+
+from tests.conftest import dataset_pair, make_disk, oracle_pairs
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kind", ["uniform", "contrast", "clustered", "massive"])
+    def test_matches_oracle(self, kind):
+        a, b = dataset_pair(kind, 1000, 1400, seed=71)
+        result, _, _ = TransformersJoin().run(make_disk(), a, b)
+        assert result.pair_set() == oracle_pairs(a, b)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            TransformersConfig.no_transformations(),
+            TransformersConfig.overfit(),
+            TransformersConfig.underfit(),
+        ],
+        ids=["no-tr", "overfit", "underfit"],
+    )
+    def test_all_ablation_configs_correct(self, config):
+        """Transformations are a performance feature; every configuration
+        must return the exact same (correct) result set."""
+        a, b = dataset_pair("massive", 900, 1300, seed=72)
+        result, _, _ = TransformersJoin(config).run(make_disk(), a, b)
+        assert result.pair_set() == oracle_pairs(a, b)
+
+    def test_extreme_density_ratios(self):
+        for na, nb in [(40, 4000), (4000, 40)]:
+            a, b = dataset_pair("uniform", na, nb, seed=73)
+            result, _, _ = TransformersJoin().run(make_disk(), a, b)
+            assert result.pair_set() == oracle_pairs(a, b)
+
+    def test_pair_orientation_is_a_then_b(self):
+        """Result pairs must be (id from A, id from B) regardless of any
+        role switches during the join."""
+        a, b = dataset_pair("contrast", 300, 2400, seed=74)
+        result, _, _ = TransformersJoin().run(make_disk(), a, b)
+        if len(result.pairs) == 0:
+            pytest.skip("no pairs for this seed")
+        a_ids = set(a.ids.tolist())
+        b_ids = set(b.ids.tolist())
+        assert all(int(x) in a_ids for x in result.pairs[:, 0])
+        assert all(int(y) in b_ids for y in result.pairs[:, 1])
+
+    def test_no_duplicate_pairs(self):
+        a, b = dataset_pair("clustered", 1500, 1500, seed=75)
+        result, _, _ = TransformersJoin().run(make_disk(), a, b)
+        pairs = [tuple(p) for p in result.pairs]
+        assert len(pairs) == len(set(pairs))
+
+    def test_disjoint_datasets_give_empty_result(self):
+        space = scaled_space(600)
+        a = uniform_dataset(300, seed=1, name="A", space=space)
+        shift = np.asarray(space.hi) * 10
+        b = Dataset(
+            "B",
+            np.arange(10**9, 10**9 + 300),
+            BoxArray(a.boxes.lo + shift, a.boxes.hi + shift),
+        )
+        result, _, _ = TransformersJoin().run(make_disk(), a, b)
+        assert result.stats.pairs_found == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_seeds(self, seed):
+        a, b = dataset_pair("uniform", 600, 900, seed=seed)
+        result, _, _ = TransformersJoin().run(make_disk(), a, b)
+        assert result.pair_set() == oracle_pairs(a, b)
+
+
+class TestIndexReuse:
+    def test_same_index_joins_multiple_partners(self):
+        """Section VII-C1: a TRANSFORMERS index is per-dataset and can be
+        reused across joins — unlike PBSM's pair-specific partitions."""
+        space = scaled_space(3000)
+        a = uniform_dataset(1000, seed=1, name="A", space=space)
+        b = uniform_dataset(1000, seed=2, name="B", id_offset=10**9, space=space)
+        c = uniform_dataset(1000, seed=3, name="C", id_offset=2 * 10**9, space=space)
+        disk = make_disk()
+        algo = TransformersJoin()
+        ia, _ = algo.build_index(disk, a)
+        ib, _ = algo.build_index(disk, b)
+        ic, _ = algo.build_index(disk, c)
+        r_ab = algo.join(ia, ib)
+        r_ac = algo.join(ia, ic)
+        assert r_ab.pair_set() == oracle_pairs(a, b)
+        assert r_ac.pair_set() == oracle_pairs(a, c)
+
+    def test_join_is_repeatable(self):
+        a, b = dataset_pair("uniform", 800, 800, seed=77)
+        disk = make_disk()
+        algo = TransformersJoin()
+        ia, _ = algo.build_index(disk, a)
+        ib, _ = algo.build_index(disk, b)
+        first = algo.join(ia, ib).pair_set()
+        second = algo.join(ia, ib).pair_set()
+        assert first == second
+
+    def test_rejects_indexes_on_different_disks(self):
+        a, b = dataset_pair("uniform", 200, 200)
+        algo = TransformersJoin()
+        ia, _ = algo.build_index(make_disk(), a)
+        ib, _ = algo.build_index(make_disk(), b)
+        with pytest.raises(ValueError, match="same disk"):
+            algo.join(ia, ib)
+
+
+class TestAdaptiveBehaviour:
+    def test_transformations_fire_on_skew(self):
+        a, b = dataset_pair("contrast", 300, 3000, seed=78)
+        result, _, _ = TransformersJoin().run(make_disk(), a, b)
+        extras = result.stats.extras
+        total = (
+            extras["role_switches"]
+            + extras["splits_to_unit"]
+            + extras["splits_to_element"]
+        )
+        assert total > 0
+
+    def test_no_tr_config_never_transforms(self):
+        a, b = dataset_pair("contrast", 300, 3000, seed=78)
+        cfg = TransformersConfig.no_transformations()
+        result, _, _ = TransformersJoin(cfg).run(make_disk(), a, b)
+        extras = result.stats.extras
+        assert extras["role_switches"] == 0
+        assert extras["splits_to_unit"] == 0
+        assert extras["splits_to_element"] == 0
+
+    def test_underfit_never_splits(self):
+        a, b = dataset_pair("massive", 1000, 1000, seed=79)
+        cfg = TransformersConfig.underfit()
+        result, _, _ = TransformersJoin(cfg).run(make_disk(), a, b)
+        assert result.stats.extras["splits_to_unit"] == 0
+
+    def test_overfit_transforms_more_than_cost_model(self):
+        a, b = dataset_pair("massive", 2000, 2000, seed=80)
+        r_over, _, _ = TransformersJoin(TransformersConfig.overfit()).run(
+            make_disk(), a, b
+        )
+        r_model, _, _ = TransformersJoin().run(make_disk(), a, b)
+        over = r_over.stats.extras
+        model = r_model.stats.extras
+        assert (
+            over["splits_to_unit"] + over["role_switches"]
+            >= model["splits_to_unit"] + model["role_switches"]
+        )
+
+    def test_exploration_overhead_reported(self):
+        a, b = dataset_pair("massive", 1500, 1500, seed=81)
+        result, _, _ = TransformersJoin().run(make_disk(), a, b)
+        extras = result.stats.extras
+        assert extras["exploration_cost"] > 0
+        assert extras["join_cost"] > 0
+        # Figure 14's claim: overhead is a minor share of join time.
+        share = extras["exploration_cost"] / (
+            extras["exploration_cost"] + extras["join_cost"]
+        )
+        assert share < 0.6
+
+    def test_thresholds_reported(self):
+        a, b = dataset_pair("uniform", 600, 600, seed=82)
+        result, _, _ = TransformersJoin().run(make_disk(), a, b)
+        assert result.stats.extras["t_su_final"] > 0
+        assert result.stats.extras["t_so_final"] > 0
+
+
+class TestStatsAccounting:
+    def test_io_phases_separated(self):
+        """Index-phase I/O must not leak into join-phase stats."""
+        a, b = dataset_pair("uniform", 800, 800, seed=83)
+        disk = make_disk()
+        algo = TransformersJoin()
+        ia, build_a = algo.build_index(disk, a)
+        ib, build_b = algo.build_index(disk, b)
+        writes_during_build = build_a.pages_written + build_b.pages_written
+        assert writes_during_build > 0
+        disk.reset_stats()
+        result = algo.join(ia, ib)
+        assert result.stats.pages_written == 0
+        assert result.stats.pages_read > 0
+
+    def test_cost_attribution_sums_to_total_io(self):
+        a, b = dataset_pair("clustered", 1000, 1000, seed=84)
+        disk = make_disk()
+        algo = TransformersJoin()
+        ia, _ = algo.build_index(disk, a)
+        ib, _ = algo.build_index(disk, b)
+        disk.reset_stats()
+        result = algo.join(ia, ib)
+        js = result.stats
+        attributed = js.extras["exploration_io_cost"] + js.extras["data_io_cost"]
+        assert attributed == pytest.approx(js.io_cost, rel=1e-9)

@@ -1,0 +1,91 @@
+"""Tests for index persistence (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TransformersJoin,
+    build_transformers_index,
+    load_index,
+    range_query,
+    save_index,
+)
+from repro.geometry.box import Box
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+from tests.conftest import TEST_PAGE_SIZE, dataset_pair, make_disk, oracle_pairs
+
+
+@pytest.fixture
+def saved(tmp_path):
+    data, _ = dataset_pair("clustered", 1500, 10, seed=33)
+    disk = make_disk()
+    index, _ = build_transformers_index(disk, data)
+    path = tmp_path / "index.npz"
+    save_index(index, str(path))
+    return data, index, path
+
+
+class TestRoundtrip:
+    def test_structure_identical(self, saved):
+        data, original, path = saved
+        loaded, _ = load_index(str(path))
+        assert loaded.dataset_name == original.dataset_name
+        assert loaded.num_elements == original.num_elements
+        assert loaded.num_units == original.num_units
+        assert loaded.num_nodes == original.num_nodes
+        assert np.array_equal(loaded.units.page_lo, original.units.page_lo)
+        assert np.array_equal(loaded.nodes.part_hi, original.nodes.part_hi)
+        assert np.array_equal(loaded.node_slack, original.node_slack)
+        for a, b in zip(loaded.nodes.neighbors, original.nodes.neighbors):
+            assert np.array_equal(a, b)
+
+    def test_element_pages_identical(self, saved):
+        data, original, path = saved
+        loaded, disk = load_index(str(path))
+        for t in range(original.num_units):
+            orig_page = original.disk.peek(
+                int(original.units.element_page_ids[t])
+            )
+            new_page = disk.peek(int(loaded.units.element_page_ids[t]))
+            assert np.array_equal(orig_page.ids, new_page.ids)
+            assert np.array_equal(orig_page.boxes.lo, new_page.boxes.lo)
+
+    def test_loaded_index_joins_correctly(self, saved, tmp_path):
+        data, _, path = saved
+        loaded, disk = load_index(str(path))
+        # Build the partner on the SAME disk, then join loaded vs fresh.
+        _, partner = dataset_pair("uniform", 1500, 1200, seed=35)
+        algo = TransformersJoin()
+        partner_index, _ = algo.build_index(disk, partner)
+        result = algo.join(loaded, partner_index)
+        assert result.pair_set() == oracle_pairs(data, partner)
+
+    def test_loaded_index_serves_range_queries(self, saved):
+        data, _, path = saved
+        loaded, disk = load_index(str(path))
+        pool = BufferPool(disk, 512)
+        space = data.boxes.mbb()
+        center = (np.asarray(space.lo) + np.asarray(space.hi)) / 2
+        query = Box(tuple(center - 2), tuple(center + 2))
+        got = range_query(loaded, query, pool)
+        expected = np.sort(data.ids[data.boxes.intersects_box(query)])
+        assert np.array_equal(got, expected)
+
+
+class TestValidation:
+    def test_rejects_wrong_page_size_disk(self, saved):
+        _, _, path = saved
+        wrong = SimulatedDisk(DiskModel(page_size=TEST_PAGE_SIZE * 2))
+        with pytest.raises(ValueError, match="page size"):
+            load_index(str(path), disk=wrong)
+
+    def test_rejects_future_format(self, saved, tmp_path):
+        _, _, path = saved
+        data = dict(np.load(str(path)))
+        data["format_version"] = np.int64(99)
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_index(str(bad))

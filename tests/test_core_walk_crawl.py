@@ -1,0 +1,151 @@
+"""Tests for the Adaptive Walk (Algorithm 1) and Adaptive Crawling."""
+
+import numpy as np
+import pytest
+
+from repro.core.crawl import adaptive_crawl, candidate_units
+from repro.core.indexing import build_transformers_index
+from repro.core.walk import adaptive_walk, node_distance
+from repro.joins.base import JoinStats
+from repro.storage.buffer import BufferPool
+
+from tests.conftest import dataset_pair, make_disk
+
+
+@pytest.fixture(scope="module")
+def indexed():
+    a, _ = dataset_pair("clustered", 2500, 10, seed=61)
+    disk = make_disk()
+    index, _ = build_transformers_index(disk, a)
+    return a, disk, index
+
+
+def query_box(index, lo, hi):
+    return np.asarray(lo, dtype=float), np.asarray(hi, dtype=float)
+
+
+class TestWalk:
+    def test_finds_intersecting_node_from_any_start(self, indexed):
+        a, disk, index = indexed
+        target = index.nodes.part_lo[0], index.nodes.part_hi[0]
+        q_lo = (target[0] + target[1]) / 2 - 0.01
+        q_hi = q_lo + 0.02
+        for start in range(0, index.num_nodes, max(1, index.num_nodes // 7)):
+            stats = JoinStats()
+            found = adaptive_walk(
+                index, start, q_lo, q_hi, stats, BufferPool(disk, 256)
+            )
+            assert found is not None
+            assert node_distance(index, found, q_lo, q_hi) == 0.0
+            assert stats.metadata_comparisons > 0
+
+    def test_returns_none_outside_space(self, indexed):
+        a, disk, index = indexed
+        space = a.boxes.mbb()
+        q_lo = np.asarray(space.hi) + 100.0
+        q_hi = q_lo + 1.0
+        stats = JoinStats()
+        found = adaptive_walk(
+            index, 0, q_lo, q_hi, stats, BufferPool(disk, 256)
+        )
+        assert found is None
+
+    def test_walk_visits_strictly_closer_nodes(self, indexed):
+        """The greedy descent must terminate without revisits; bounded
+        metadata work for a single walk is the observable proxy."""
+        a, disk, index = indexed
+        q_lo = np.asarray(a.boxes.mbb().hi) - 0.5
+        q_hi = q_lo + 0.2
+        stats = JoinStats()
+        adaptive_walk(index, 0, q_lo, q_hi, stats, BufferPool(disk, 256))
+        # Worst case is one distance check per (node, neighbour) edge.
+        total_edges = sum(len(ns) for ns in index.nodes.neighbors)
+        assert stats.metadata_comparisons <= total_edges + index.num_nodes
+
+
+class TestCrawl:
+    def test_candidates_complete_vs_linear_scan(self, indexed):
+        """The crawl must find every node whose MBB intersects the query
+        — compared against a full scan of node MBBs."""
+        a, disk, index = indexed
+        rng = np.random.default_rng(5)
+        space = a.boxes.mbb()
+        for _ in range(10):
+            center = rng.uniform(space.lo, space.hi)
+            q_lo, q_hi = center - 1.5, center + 1.5
+            g_lo = q_lo - index.node_slack
+            g_hi = q_hi + index.node_slack
+            stats = JoinStats()
+            pool = BufferPool(disk, 256)
+            start = adaptive_walk(index, 0, g_lo, g_hi, stats, pool)
+            expected = set(
+                np.nonzero(
+                    np.all(
+                        (index.nodes.mbb_lo <= q_hi)
+                        & (index.nodes.mbb_hi >= q_lo),
+                        axis=1,
+                    )
+                )[0].tolist()
+            )
+            if start is None:
+                assert expected == set()
+                continue
+            got = set(
+                adaptive_crawl(
+                    index, start, q_lo, q_hi, g_lo, g_hi, stats, pool
+                )
+            )
+            assert got == expected
+
+    def test_skip_excludes_but_does_not_disconnect(self, indexed):
+        """Skipped (checked) nodes are not candidates but the crawl must
+        still expand through them to reach nodes beyond."""
+        a, disk, index = indexed
+        space = a.boxes.mbb()
+        center = (np.asarray(space.lo) + np.asarray(space.hi)) / 2
+        q_lo, q_hi = center - 3.0, center + 3.0
+        g_lo = q_lo - index.node_slack
+        g_hi = q_hi + index.node_slack
+        pool = BufferPool(disk, 256)
+        stats = JoinStats()
+        start = adaptive_walk(index, 0, g_lo, g_hi, stats, pool)
+        assert start is not None
+        full = set(
+            adaptive_crawl(index, start, q_lo, q_hi, g_lo, g_hi, stats, pool)
+        )
+        if len(full) < 3:
+            pytest.skip("need a multi-node candidate set for this check")
+        # Skip one *interior* candidate (not the start).
+        skipped = next(iter(full - {start}))
+        got = set(
+            adaptive_crawl(
+                index, start, q_lo, q_hi, g_lo, g_hi, stats, pool,
+                skip={skipped},
+            )
+        )
+        assert got == full - {skipped}
+
+
+class TestCandidateUnits:
+    def test_filters_by_page_mbb(self, indexed):
+        a, disk, index = indexed
+        stats = JoinStats()
+        pool = BufferPool(disk, 256)
+        nodes = list(range(index.num_nodes))
+        space = a.boxes.mbb()
+        center = (np.asarray(space.lo) + np.asarray(space.hi)) / 2
+        q_lo, q_hi = center - 2.0, center + 2.0
+        got = set(
+            candidate_units(index, nodes, q_lo, q_hi, stats, pool).tolist()
+        )
+        expected = set(
+            np.nonzero(
+                np.all(
+                    (index.units.page_lo <= q_hi)
+                    & (index.units.page_hi >= q_lo),
+                    axis=1,
+                )
+            )[0].tolist()
+        )
+        assert got == expected
+        assert stats.metadata_comparisons >= index.num_units

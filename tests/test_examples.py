@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable, so each one is executed as a subprocess (small sizes where
+the script accepts an argument) and its key output lines are checked.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "neuroscience_synapses.py",
+        "density_robustness.py",
+        "index_reuse.py",
+        "spatial_queries.py",
+    } <= present
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "intersecting pairs" in out
+    assert "verified against the brute-force oracle" in out
+
+
+def test_neuroscience_synapses():
+    out = run_example("neuroscience_synapses.py", "4000")
+    assert "TRANSFORMERS" in out
+    assert "faster" in out
+    assert "confirmed synapses" in out
+
+
+def test_density_robustness():
+    out = run_example("density_robustness.py", "2000")
+    assert "TRANSFORMERS" in out
+    # Nine ladder rungs plus header and footer.
+    data_lines = [l for l in out.splitlines() if "|" in l and "ratio" not in l]
+    assert len(data_lines) == 9
+
+
+def test_index_reuse():
+    out = run_example("index_reuse.py")
+    assert "cumulative cost" in out
+    # Three partner rows with a ratio column.
+    assert out.count("x") >= 3
+
+
+def test_spatial_queries():
+    out = run_example("spatial_queries.py")
+    assert "saved" in out
+    assert "✓" in out and "✗" not in out

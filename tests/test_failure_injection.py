@@ -1,0 +1,107 @@
+"""Failure injection: corrupted storage must fail loudly, not silently.
+
+A join that silently skips a corrupt page would return a *plausible but
+wrong* result set — the worst possible failure mode for a filter step
+feeding scientific analysis.  Every algorithm is required to raise on a
+page whose payload is not what its index says it should be.
+"""
+
+import pytest
+
+from repro.core import TransformersJoin
+from repro.joins import (
+    GipsyJoin,
+    PBSMJoin,
+    SSSJJoin,
+    SynchronizedRTreeJoin,
+)
+
+from tests.conftest import dataset_pair, make_disk
+
+
+def corrupt_every_element_page(disk):
+    """Replace every ElementPage payload with junk."""
+    from repro.storage.page import ElementPage
+
+    for pid in range(disk.num_pages):
+        if isinstance(disk.peek(pid), ElementPage):
+            disk.write(pid, ("junk", pid))
+
+
+class TestCorruptDataPages:
+    def test_transformers_raises(self):
+        a, b = dataset_pair("uniform", 300, 300, seed=1)
+        disk = make_disk()
+        algo = TransformersJoin()
+        ia, _ = algo.build_index(disk, a)
+        ib, _ = algo.build_index(disk, b)
+        corrupt_every_element_page(disk)
+        with pytest.raises(TypeError):
+            algo.join(ia, ib)
+
+    def test_pbsm_raises(self):
+        a, b = dataset_pair("uniform", 300, 300, seed=2)
+        space = a.boxes.mbb().union(b.boxes.mbb())
+        algo = PBSMJoin(space=space, resolution=3)
+        disk = make_disk()
+        ia, _ = algo.build_index(disk, a)
+        ib, _ = algo.build_index(disk, b)
+        corrupt_every_element_page(disk)
+        with pytest.raises(TypeError):
+            algo.join(ia, ib)
+
+    def test_sync_rtree_raises(self):
+        a, b = dataset_pair("uniform", 300, 300, seed=3)
+        algo = SynchronizedRTreeJoin()
+        disk = make_disk()
+        ia, _ = algo.build_index(disk, a)
+        ib, _ = algo.build_index(disk, b)
+        corrupt_every_element_page(disk)
+        with pytest.raises(TypeError):
+            algo.join(ia, ib)
+
+    def test_gipsy_raises(self):
+        a, b = dataset_pair("uniform", 300, 300, seed=4)
+        algo = GipsyJoin()
+        disk = make_disk()
+        ia, _ = algo.build_index(disk, a)
+        ib, _ = algo.build_index(disk, b)
+        corrupt_every_element_page(disk)
+        with pytest.raises(TypeError):
+            algo.join(ia, ib)
+
+    def test_sssj_raises(self):
+        a, b = dataset_pair("uniform", 300, 300, seed=5)
+        mbb = a.boxes.mbb().union(b.boxes.mbb())
+        algo = SSSJJoin(strips=4, x_range=(mbb.lo[0], mbb.hi[0]))
+        disk = make_disk()
+        ia, _ = algo.build_index(disk, a)
+        ib, _ = algo.build_index(disk, b)
+        corrupt_every_element_page(disk)
+        with pytest.raises(TypeError):
+            algo.join(ia, ib)
+
+
+class TestCorruptIndexStructures:
+    def test_bplustree_detects_non_leaf(self):
+        from repro.index.bplustree import BPlusTree
+        from repro.storage.buffer import BufferPool
+
+        disk = make_disk()
+        tree = BPlusTree.bulk_load(disk, [(i, i) for i in range(100)])
+        disk.write(tree.first_leaf, "junk")
+        with pytest.raises(TypeError):
+            tree.items(BufferPool(disk, 64))
+
+    def test_rtree_detects_foreign_page(self):
+        import numpy as np
+        from repro.geometry.boxes import BoxArray
+        from repro.index.rtree import RTree
+        from repro.storage.buffer import BufferPool
+
+        disk = make_disk()
+        lo = np.random.default_rng(0).uniform(0, 10, size=(50, 3))
+        tree = RTree.bulk_load(disk, np.arange(50), BoxArray(lo, lo + 1))
+        disk.write(tree.root_page, 12345)
+        with pytest.raises(TypeError):
+            tree.read_node(BufferPool(disk, 8), tree.root_page)

@@ -1,0 +1,226 @@
+"""Unit and property tests for :mod:`repro.geometry.box`."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.box import Box
+
+
+def boxes(ndim: int = 3, lo: float = -100.0, hi: float = 100.0):
+    """Hypothesis strategy for well-formed d-dimensional boxes."""
+    coord = st.floats(lo, hi, allow_nan=False, allow_infinity=False)
+    def build(corners):
+        a, b = corners
+        return Box(
+            tuple(min(x, y) for x, y in zip(a, b)),
+            tuple(max(x, y) for x, y in zip(a, b)),
+        )
+    point = st.tuples(*([coord] * ndim))
+    return st.tuples(point, point).map(build)
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = Box((0, 0, 0), (1, 2, 3))
+        assert b.lo == (0.0, 0.0, 0.0)
+        assert b.hi == (1.0, 2.0, 3.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="lo must not exceed hi"):
+            Box((1, 0), (0, 1))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            Box((0, 0), (1, 1, 1))
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            Box((), ())
+
+    def test_degenerate_point_box_allowed(self):
+        b = Box((5, 5), (5, 5))
+        assert b.volume() == 0.0
+
+    def test_immutable(self):
+        b = Box((0, 0), (1, 1))
+        with pytest.raises(AttributeError):
+            b.lo = (9, 9)
+
+    def test_from_center(self):
+        b = Box.from_center((5, 5), (2, 4))
+        assert b == Box((4, 3), (6, 7))
+
+    def test_from_center_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Box.from_center((1, 2), (1, 2, 3))
+
+
+class TestProperties:
+    def test_center(self):
+        assert Box((0, 0), (2, 4)).center == (1.0, 2.0)
+
+    def test_extents(self):
+        assert Box((1, 1, 1), (2, 3, 5)).extents == (1.0, 2.0, 4.0)
+
+    def test_volume(self):
+        assert Box((0, 0, 0), (2, 3, 4)).volume() == 24.0
+
+    def test_margin(self):
+        assert Box((0, 0, 0), (2, 3, 4)).margin() == 9.0
+
+    def test_ndim(self):
+        assert Box((0,), (1,)).ndim == 1
+        assert Box((0, 0, 0), (1, 1, 1)).ndim == 3
+
+
+class TestPredicates:
+    def test_intersects_overlap(self):
+        assert Box((0, 0), (2, 2)).intersects(Box((1, 1), (3, 3)))
+
+    def test_intersects_touching_counts(self):
+        # Inclusive semantics: shared faces count (synapse candidates).
+        assert Box((0, 0), (1, 1)).intersects(Box((1, 0), (2, 1)))
+
+    def test_intersects_disjoint(self):
+        assert not Box((0, 0), (1, 1)).intersects(Box((2, 2), (3, 3)))
+
+    def test_intersects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1)).intersects(Box((0, 0, 0), (1, 1, 1)))
+
+    def test_contains(self):
+        outer = Box((0, 0), (10, 10))
+        assert outer.contains(Box((1, 1), (2, 2)))
+        assert outer.contains(outer)
+        assert not Box((1, 1), (2, 2)).contains(outer)
+
+    def test_contains_point(self):
+        b = Box((0, 0), (1, 1))
+        assert b.contains_point((0.5, 0.5))
+        assert b.contains_point((1.0, 1.0))  # boundary inclusive
+        assert not b.contains_point((1.5, 0.5))
+
+    def test_contains_point_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1)).contains_point((0.5,))
+
+
+class TestConstructive:
+    def test_union(self):
+        assert Box((0, 0), (1, 1)).union(Box((2, 2), (3, 3))) == Box(
+            (0, 0), (3, 3)
+        )
+
+    def test_intersection_overlap(self):
+        got = Box((0, 0), (2, 2)).intersection(Box((1, 1), (3, 3)))
+        assert got == Box((1, 1), (2, 2))
+
+    def test_intersection_disjoint_is_none(self):
+        assert Box((0, 0), (1, 1)).intersection(Box((5, 5), (6, 6))) is None
+
+    def test_intersection_touching_is_degenerate(self):
+        got = Box((0, 0), (1, 1)).intersection(Box((1, 0), (2, 1)))
+        assert got == Box((1, 0), (1, 1))
+        assert got.volume() == 0.0
+
+    def test_enlarged(self):
+        assert Box((0, 0), (1, 1)).enlarged(0.5) == Box((-0.5, -0.5), (1.5, 1.5))
+
+    def test_enlarged_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1)).enlarged(-1)
+
+    def test_union_all(self):
+        got = Box.union_all([Box((0, 0), (1, 1)), Box((4, -1), (5, 0))])
+        assert got == Box((0, -1), (5, 1))
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            Box.union_all([])
+
+
+class TestDistances:
+    def test_min_distance_zero_when_intersecting(self):
+        assert Box((0, 0), (2, 2)).min_distance(Box((1, 1), (3, 3))) == 0.0
+
+    def test_min_distance_axis_gap(self):
+        assert Box((0, 0), (1, 1)).min_distance(Box((3, 0), (4, 1))) == 2.0
+
+    def test_min_distance_diagonal(self):
+        got = Box((0, 0), (1, 1)).min_distance(Box((2, 2), (3, 3)))
+        assert got == pytest.approx(math.sqrt(2))
+
+    def test_min_distance_to_point_inside(self):
+        assert Box((0, 0), (2, 2)).min_distance_to_point((1, 1)) == 0.0
+
+    def test_min_distance_to_point_outside(self):
+        assert Box((0, 0), (1, 1)).min_distance_to_point((1, 4)) == 3.0
+
+    def test_min_distance_to_point_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1)).min_distance_to_point((1, 2, 3))
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((0.0, 0.0), (1.0, 1.0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Box((0, 0), (2, 1))
+
+    def test_equality_other_type(self):
+        assert Box((0, 0), (1, 1)) != "box"
+
+    def test_repr_roundtrip_info(self):
+        assert "lo=(0.0, 0.0)" in repr(Box((0, 0), (1, 1)))
+
+
+class TestBoxProperties:
+    @given(boxes(), boxes())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(boxes(), boxes())
+    def test_intersects_iff_distance_zero(self, a, b):
+        assert a.intersects(b) == (a.min_distance(b) == 0.0)
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(boxes(), boxes())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is None:
+            assert not a.intersects(b)
+        else:
+            assert a.contains(inter) and b.contains(inter)
+
+    @given(boxes(), st.floats(0, 10, allow_nan=False))
+    def test_enlarged_contains_original(self, a, delta):
+        assert a.enlarged(delta).contains(a)
+
+    @given(boxes(ndim=2), boxes(ndim=2))
+    def test_min_distance_symmetric(self, a, b):
+        assert a.min_distance(b) == pytest.approx(b.min_distance(a))
+
+    @given(boxes())
+    def test_volume_nonnegative(self, a):
+        assert a.volume() >= 0.0
+
+    @given(boxes(), boxes())
+    def test_distance_join_reduction(self, a, b):
+        """Enlarging by d makes intersection equivalent to distance <= d.
+
+        This is the distance-join reduction of Section VIII (enlarged
+        objects turn a distance predicate into plain intersection); the
+        inequality direction we rely on is that enlargement never
+        *loses* a pair.
+        """
+        d = a.min_distance(b)
+        if d > 0:
+            assert a.enlarged(d * 1.01 + 1e-9).intersects(b)

@@ -1,0 +1,62 @@
+"""Tests for the cylinder primitive used by the neuroscience workload."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.cylinder import Cylinder
+
+
+class TestConstruction:
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            Cylinder((0, 0, 0), (1, 0, 0), -0.1)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            Cylinder((0, 0), (1, 0), 0.1)
+
+    def test_immutable(self):
+        c = Cylinder((0, 0, 0), (1, 0, 0), 0.1)
+        with pytest.raises(AttributeError):
+            c.radius = 5.0
+
+
+class TestGeometry:
+    def test_length(self):
+        c = Cylinder((0, 0, 0), (3, 4, 0), 0.5)
+        assert c.length == pytest.approx(5.0)
+
+    def test_axis_aligned_mbb_is_capsule_box(self):
+        # The MBB grows by the radius on every axis (capsule bound):
+        # conservative on the axial dimension, exact on the others.
+        c = Cylinder((0, 0, 0), (0, 0, 2), 0.5)
+        mbb = c.mbb()
+        assert mbb.lo == (-0.5, -0.5, -0.5)
+        assert mbb.hi == (0.5, 0.5, 2.5)
+
+    def test_degenerate_cylinder_is_sphere_box(self):
+        c = Cylinder((1, 1, 1), (1, 1, 1), 2.0)
+        mbb = c.mbb()
+        assert mbb.lo == (-1.0, -1.0, -1.0)
+        assert mbb.hi == (3.0, 3.0, 3.0)
+
+    coords = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+
+    @given(
+        st.tuples(coords, coords, coords),
+        st.tuples(coords, coords, coords),
+        st.floats(0, 5, allow_nan=False),
+        st.floats(0, 1, allow_nan=False),
+    )
+    def test_mbb_is_conservative(self, p0, p1, radius, t):
+        """Every point within ``radius`` of the axis segment lies inside
+        the MBB (the filter step may over-approximate, never under)."""
+        c = Cylinder(p0, p1, radius)
+        mbb = c.mbb()
+        # Point on the axis at parameter t, displaced along +x by r.
+        axis = tuple(a + (b - a) * t for a, b in zip(p0, p1))
+        surface = (axis[0] + radius, axis[1], axis[2])
+        assert mbb.contains_point(axis)
+        assert mbb.contains_point(surface)

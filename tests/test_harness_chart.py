@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderer and its CLI integration."""
+
+import pytest
+
+from repro.harness.chart import ascii_chart
+from repro.harness.experiments import main
+
+
+class TestAsciiChart:
+    def test_marks_every_series(self):
+        out = ascii_chart(
+            [1, 2, 3],
+            {"TRANSFORMERS": [1, 1, 1], "PBSM": [10, 20, 10]},
+            height=6,
+        )
+        assert out.count("T") >= 3
+        assert out.count("P") >= 3
+        assert "T=TRANSFORMERS" in out
+        assert "P=PBSM" in out
+
+    def test_extremes_on_boundary_rows(self):
+        out = ascii_chart([1, 2], {"A": [1.0, 100.0]}, height=5)
+        lines = out.splitlines()
+        assert "A" in lines[0]   # max on the top row
+        assert "A" in lines[4]   # min on the bottom row
+
+    def test_linear_scale(self):
+        out = ascii_chart(
+            [1, 2, 3], {"A": [0.0, 5.0, 10.0]}, height=5, log_scale=False
+        )
+        chart_rows = out.splitlines()[:5]  # marks only, not the legend
+        assert sum(row.count("A") for row in chart_rows) == 3
+
+    def test_title(self):
+        out = ascii_chart([1], {"A": [1.0]}, title="my chart")
+        assert out.splitlines()[0] == "my chart"
+
+    def test_flat_series_supported(self):
+        out = ascii_chart([1, 2], {"A": [3.0, 3.0]})
+        assert out.count("A") >= 2
+
+    def test_priority_goes_to_first_series(self):
+        # Identical values: the first series' mark must win the cell.
+        out = ascii_chart([1], {"X": [5.0], "Y": [5.0]}, height=3)
+        assert "X" in out
+        chart_rows = out.splitlines()[:3]
+        assert not any("Y" in row for row in chart_rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"A": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"A": [1.0]}, height=1)
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"A": [0.0]}, log_scale=True)
+
+
+class TestCLIChart:
+    def test_chart_flag_renders_curves(self, capsys):
+        assert main(["table1", "--scale", "0.05", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "join cost (log scale)" in out
+        assert "T=TRANSFORMERS" in out

@@ -1,0 +1,142 @@
+"""Tests for the bulk-loaded B+-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.bplustree import (
+    BPlusInternal,
+    BPlusLeaf,
+    BPlusTree,
+    bplus_leaf_capacity,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+def build(items, page_size=1024):
+    disk = SimulatedDisk(DiskModel(page_size=page_size))
+    tree = BPlusTree.bulk_load(disk, items)
+    return disk, tree, BufferPool(disk, 512)
+
+
+class TestStructures:
+    def test_leaf_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BPlusLeaf(keys=(3, 1), values=(0, 0), next_leaf=None)
+
+    def test_leaf_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BPlusLeaf(keys=(1,), values=(0, 0), next_leaf=None)
+
+    def test_internal_child_count(self):
+        with pytest.raises(ValueError):
+            BPlusInternal(separators=(5,), children=(1,))
+
+    def test_leaf_capacity(self):
+        assert bplus_leaf_capacity(1024) == 60
+        with pytest.raises(ValueError):
+            bplus_leaf_capacity(70)
+
+
+class TestBulkLoad:
+    def test_rejects_empty(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load(disk, [])
+
+    def test_sorts_input(self):
+        _, tree, pool = build([(5, 50), (1, 10), (3, 30)])
+        assert tree.items(pool) == [(1, 10), (3, 30), (5, 50)]
+
+    def test_multi_level(self):
+        items = [(i, i * 10) for i in range(5000)]
+        _, tree, pool = build(items)
+        assert tree.height >= 2
+        assert tree.num_keys == 5000
+
+    def test_leaf_chain_complete(self):
+        items = [(i, i) for i in range(777)]
+        _, tree, pool = build(items)
+        assert tree.items(pool) == items
+
+
+class TestNearest:
+    def test_exact_hit(self):
+        _, tree, pool = build([(10, 1), (20, 2), (30, 3)])
+        assert tree.nearest(20, pool) == (20, 2)
+
+    def test_between_keys_prefers_closer(self):
+        _, tree, pool = build([(10, 1), (20, 2)])
+        assert tree.nearest(13, pool) == (10, 1)
+        assert tree.nearest(17, pool) == (20, 2)
+
+    def test_tie_prefers_smaller_key(self):
+        _, tree, pool = build([(10, 1), (20, 2)])
+        assert tree.nearest(15, pool) == (10, 1)
+
+    def test_beyond_ends(self):
+        _, tree, pool = build([(10, 1), (20, 2)])
+        assert tree.nearest(-99, pool) == (10, 1)
+        assert tree.nearest(999, pool) == (20, 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(-10_000, 10_000), min_size=1, max_size=300, unique=True),
+        st.integers(-11_000, 11_000),
+    )
+    def test_matches_linear_scan(self, keys, probe):
+        items = [(k, i) for i, k in enumerate(keys)]
+        _, tree, pool = build(items)
+        got_key, _ = tree.nearest(probe, pool)
+        best = min(keys, key=lambda k: (abs(k - probe), k))
+        assert got_key == best
+
+
+class TestRangeQuery:
+    def test_inclusive_bounds(self):
+        _, tree, pool = build([(i, i) for i in range(0, 100, 10)])
+        got = tree.range_query(20, 40, pool)
+        assert got == [(20, 20), (30, 30), (40, 40)]
+
+    def test_empty_range(self):
+        _, tree, pool = build([(1, 1), (5, 5)])
+        assert tree.range_query(2, 4, pool) == []
+
+    def test_inverted_range(self):
+        _, tree, pool = build([(1, 1)])
+        assert tree.range_query(5, 2, pool) == []
+
+    def test_crosses_leaves(self):
+        items = [(i, i) for i in range(500)]
+        _, tree, pool = build(items)
+        got = tree.range_query(100, 399, pool)
+        assert got == [(i, i) for i in range(100, 400)]
+
+    def test_duplicate_keys_all_returned(self):
+        _, tree, pool = build([(7, 1), (7, 2), (7, 3), (9, 4)])
+        got = tree.range_query(7, 7, pool)
+        assert sorted(v for _, v in got) == [1, 2, 3]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=200),
+        st.integers(0, 500),
+        st.integers(0, 500),
+    )
+    def test_matches_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        items = [(k, i) for i, k in enumerate(keys)]
+        _, tree, pool = build(items)
+        got = sorted(tree.range_query(lo, hi, pool))
+        expected = sorted((k, v) for k, v in items if lo <= k <= hi)
+        assert got == expected
+
+
+class TestIO:
+    def test_lookups_charge_io(self):
+        disk, tree, _ = build([(i, i) for i in range(5000)])
+        disk.reset_stats()
+        cold_pool = BufferPool(disk, 512)
+        tree.nearest(2500, cold_pool)
+        assert disk.stats.pages_read == tree.height

@@ -1,0 +1,145 @@
+"""Tests for the uniform grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.boxes import BoxArray
+from repro.index.grid import UniformGrid
+
+
+SPACE = Box((0.0, 0.0), (10.0, 10.0))
+
+
+class TestBasics:
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            UniformGrid(SPACE, 0)
+
+    def test_num_cells(self):
+        assert UniformGrid(SPACE, 5).num_cells == 25
+        assert UniformGrid(Box((0,) * 3, (1,) * 3), 4).num_cells == 64
+
+    def test_immutable(self):
+        g = UniformGrid(SPACE, 5)
+        with pytest.raises(AttributeError):
+            g.resolution = 10
+
+
+class TestCoordinateMapping:
+    def test_cell_of_point(self):
+        g = UniformGrid(SPACE, 5)
+        assert g.cell_of_point((0.0, 0.0)) == (0, 0)
+        assert g.cell_of_point((9.9, 0.1)) == (4, 0)
+
+    def test_cell_of_point_clamps(self):
+        g = UniformGrid(SPACE, 5)
+        assert g.cell_of_point((-3.0, 12.0)) == (0, 4)
+
+    def test_boundary_point_goes_to_last_cell(self):
+        g = UniformGrid(SPACE, 5)
+        assert g.cell_of_point((10.0, 10.0)) == (4, 4)
+
+    def test_cell_range_of_box(self):
+        g = UniformGrid(SPACE, 5)
+        lo, hi = g.cell_range_of_box(Box((1.5, 0.5), (4.5, 2.5)))
+        assert lo == (0, 0)
+        assert hi == (2, 1)
+
+    def test_cells_of_box_enumerates_range(self):
+        g = UniformGrid(SPACE, 5)  # cell side = 2.0
+        cells = set(g.cells_of_box(Box((0, 0), (3.9, 1.9))))
+        assert cells == {(0, 0), (1, 0)}
+
+    def test_flat_id_row_major(self):
+        g = UniformGrid(SPACE, 5)
+        assert g.flat_id((0, 0)) == 0
+        assert g.flat_id((1, 2)) == 7
+        assert g.flat_id((4, 4)) == 24
+
+    def test_flat_id_rejects_out_of_range(self):
+        g = UniformGrid(SPACE, 5)
+        with pytest.raises(ValueError):
+            g.flat_id((5, 0))
+
+    def test_cell_box_partitions_space(self):
+        g = UniformGrid(SPACE, 4)
+        total = sum(
+            g.cell_box((i, j)).volume() for i in range(4) for j in range(4)
+        )
+        assert total == pytest.approx(SPACE.volume())
+
+    def test_degenerate_axis(self):
+        flat_space = Box((0.0, 5.0), (10.0, 5.0))
+        g = UniformGrid(flat_space, 4)
+        assert g.cell_of_point((2.0, 5.0))[1] == 0
+
+
+class TestAssignment:
+    def _boxes(self, n=40, seed=0):
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(0, 9, size=(n, 2))
+        return BoxArray(lo, lo + rng.uniform(0, 1.5, size=(n, 2)))
+
+    def test_multiple_assignment_complete(self):
+        """A box must appear in the bucket of every cell it overlaps."""
+        g = UniformGrid(SPACE, 5)
+        boxes = self._boxes()
+        buckets = g.assign(boxes)
+        for i in range(len(boxes)):
+            for cell in g.cells_of_box(boxes.box(i)):
+                assert i in buckets[g.flat_id(cell)]
+
+    def test_assignment_has_no_spurious_entries(self):
+        g = UniformGrid(SPACE, 5)
+        boxes = self._boxes(seed=1)
+        for flat, members in g.assign(boxes).items():
+            for i in members:
+                cells = {g.flat_id(c) for c in g.cells_of_box(boxes.box(i))}
+                assert flat in cells
+
+    def test_replication_factor_at_least_one(self):
+        g = UniformGrid(SPACE, 5)
+        boxes = self._boxes(seed=2)
+        assert g.replication_factor(boxes) >= 1.0
+
+    def test_replication_grows_with_resolution(self):
+        boxes = self._boxes(seed=3)
+        coarse = UniformGrid(SPACE, 2).replication_factor(boxes)
+        fine = UniformGrid(SPACE, 20).replication_factor(boxes)
+        assert fine > coarse
+
+    def test_assign_dim_mismatch(self):
+        g = UniformGrid(SPACE, 5)
+        boxes = BoxArray(np.zeros((1, 3)), np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            g.assign(boxes)
+
+    def test_replication_factor_empty(self):
+        g = UniformGrid(SPACE, 5)
+        assert g.replication_factor(BoxArray.empty(2)) == 0.0
+
+
+class TestVectorisedHelpers:
+    def test_cells_of_points_matches_scalar(self):
+        g = UniformGrid(SPACE, 5)
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(-2, 12, size=(60, 2))
+        cells = g.cells_of_points(pts)
+        for i in range(len(pts)):
+            assert tuple(cells[i]) == g.cell_of_point(pts[i])
+
+    def test_flat_ids_match_scalar(self):
+        g = UniformGrid(SPACE, 5)
+        rng = np.random.default_rng(5)
+        cells = rng.integers(0, 5, size=(40, 2))
+        flats = g.flat_ids(cells)
+        for i in range(len(cells)):
+            assert flats[i] == g.flat_id(tuple(int(c) for c in cells[i]))
+
+    def test_shape_validation(self):
+        g = UniformGrid(SPACE, 5)
+        with pytest.raises(ValueError):
+            g.cells_of_points(np.zeros((3,)))
+        with pytest.raises(ValueError):
+            g.flat_ids(np.zeros((3, 3), dtype=np.int64))

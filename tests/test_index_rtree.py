@@ -1,0 +1,134 @@
+"""Tests for the STR bulk-loaded disk R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.boxes import BoxArray
+from repro.index.rtree import RTree, RTreeNode, internal_fanout
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.page import ElementPage
+
+
+def dataset(n, seed=0, side=50.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, side, size=(n, 3))
+    return np.arange(n, dtype=np.int64), BoxArray(lo, lo + rng.uniform(0, 1, size=(n, 3)))
+
+
+def build(n, seed=0, page_size=1024):
+    disk = SimulatedDisk(DiskModel(page_size=page_size))
+    ids, boxes = dataset(n, seed)
+    return disk, ids, boxes, RTree.bulk_load(disk, ids, boxes)
+
+
+class TestFanout:
+    def test_fanout_positive(self):
+        assert internal_fanout(8192, 3) > 100  # paper regime: ~135
+
+    def test_fanout_rejects_tiny_page(self):
+        with pytest.raises(ValueError):
+            internal_fanout(520, 3)
+
+
+class TestBulkLoad:
+    def test_rejects_empty(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            RTree.bulk_load(disk, np.array([], dtype=np.int64), BoxArray.empty(3))
+
+    def test_rejects_length_mismatch(self):
+        disk = SimulatedDisk()
+        ids, boxes = dataset(5)
+        with pytest.raises(ValueError):
+            RTree.bulk_load(disk, ids[:3], boxes)
+
+    def test_single_leaf_tree(self):
+        disk, ids, boxes, tree = build(5)
+        assert tree.height == 1
+        assert tree.root_page == tree.leaf_pages[0]
+
+    def test_multi_level_tree(self):
+        disk, ids, boxes, tree = build(2000)
+        assert tree.height >= 2
+        assert len(tree.leaf_pages) > 1
+
+    def test_root_mbb_covers_everything(self):
+        disk, ids, boxes, tree = build(500, seed=4)
+        root = tree.root_mbb()
+        assert root.contains(boxes.mbb())
+
+    def test_internal_nodes_cover_children(self):
+        disk, _, _, tree = build(3000, seed=5)
+        pool = BufferPool(disk, 512)
+        stack = [tree.root_page]
+        while stack:
+            node = tree.read_node(pool, stack.pop())
+            if isinstance(node, RTreeNode):
+                for i, child in enumerate(node.children):
+                    payload = disk.peek(child)
+                    if isinstance(payload, ElementPage):
+                        child_mbb = payload.boxes.mbb()
+                    else:
+                        child_mbb = payload.child_boxes.mbb()
+                    assert node.child_boxes.box(i).contains(child_mbb)
+                    stack.append(child)
+
+    def test_every_element_in_exactly_one_leaf(self):
+        disk, ids, _, tree = build(1234, seed=6)
+        seen = []
+        for page_id in tree.leaf_pages:
+            page = disk.peek(page_id)
+            seen.extend(page.ids.tolist())
+        assert sorted(seen) == sorted(ids.tolist())
+
+    def test_leaves_written_in_contiguous_run(self):
+        disk, _, _, tree = build(2000, seed=7)
+        pages = list(tree.leaf_pages)
+        assert pages == list(range(pages[0], pages[0] + len(pages)))
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self):
+        disk, ids, boxes, tree = build(800, seed=8)
+        pool = BufferPool(disk, 512)
+        for q_seed in range(5):
+            rng = np.random.default_rng(q_seed)
+            q_lo = rng.uniform(0, 45, size=3)
+            query = Box(tuple(q_lo), tuple(q_lo + rng.uniform(1, 8, size=3)))
+            expected = set(ids[boxes.intersects_box(query)].tolist())
+            got, tests = tree.range_query(query, pool)
+            assert set(got.tolist()) == expected
+            assert tests > 0
+
+    def test_empty_result(self):
+        disk, ids, boxes, tree = build(100, seed=9)
+        pool = BufferPool(disk, 64)
+        got, _ = tree.range_query(Box((900,) * 3, (901,) * 3), pool)
+        assert got.size == 0
+
+    def test_query_charges_io(self):
+        disk, _, _, tree = build(800, seed=10)
+        disk.reset_stats()
+        pool = BufferPool(disk, 512)
+        tree.range_query(Box((0,) * 3, (50,) * 3), pool)
+        assert disk.stats.pages_read > 0
+
+    def test_read_node_rejects_foreign_page(self):
+        disk, _, _, tree = build(10, seed=11)
+        foreign = disk.allocate("not a node")
+        pool = BufferPool(disk, 8)
+        with pytest.raises(TypeError):
+            tree.read_node(pool, foreign)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 400), st.integers(0, 1000))
+    def test_full_space_query_returns_all(self, n, seed):
+        disk = SimulatedDisk(DiskModel(page_size=1024))
+        ids, boxes = dataset(n, seed)
+        tree = RTree.bulk_load(disk, ids, boxes)
+        pool = BufferPool(disk, 512)
+        got, _ = tree.range_query(Box((-10,) * 3, (100,) * 3), pool)
+        assert sorted(got.tolist()) == sorted(ids.tolist())

@@ -1,0 +1,133 @@
+"""Property tests for the in-memory join kernels (grid hash, plane sweep).
+
+Both kernels must return exactly the set of intersecting index pairs —
+the grid hash join's reference-point deduplication in particular must
+report every pair exactly once despite the multiple assignment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.boxes import BoxArray
+from repro.joins.grid_hash import default_resolution, grid_hash_join
+from repro.joins.plane_sweep import plane_sweep_join
+
+
+def random_boxes(n, seed, side=20.0, extent=2.0, ndim=3):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, side, size=(n, ndim))
+    return BoxArray(lo, lo + rng.uniform(0, extent, size=(n, ndim)))
+
+
+def expected_pairs(a, b):
+    return {tuple(p) for p in a.pairwise_intersections(b)}
+
+
+class TestDefaultResolution:
+    def test_zero_and_negative(self):
+        assert default_resolution(0, 3) == 1
+        assert default_resolution(-5, 3) == 1
+
+    def test_monotone_and_clamped(self):
+        assert default_resolution(10, 3) <= default_resolution(10_000, 3)
+        assert default_resolution(10**9, 3) == 64
+
+
+class TestGridHashJoin:
+    def test_empty_inputs(self):
+        a = random_boxes(5, 0)
+        empty = BoxArray.empty(3)
+        assert grid_hash_join(a, empty)[0].shape == (0, 2)
+        assert grid_hash_join(empty, a)[0].shape == (0, 2)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            grid_hash_join(random_boxes(3, 0, ndim=3), random_boxes(3, 0, ndim=2))
+
+    def test_no_duplicate_reports(self):
+        # Large boxes overlapping many cells stress the dedup rule.
+        a = random_boxes(30, 1, side=5, extent=6)
+        b = random_boxes(30, 2, side=5, extent=6)
+        pairs, _ = grid_hash_join(a, b, resolution=6)
+        as_tuples = [tuple(p) for p in pairs]
+        assert len(as_tuples) == len(set(as_tuples))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(1, 40), st.integers(1, 40),
+        st.integers(0, 10_000), st.integers(1, 10),
+    )
+    def test_matches_brute_force(self, na, nb, seed, resolution):
+        a = random_boxes(na, seed)
+        b = random_boxes(nb, seed + 1)
+        pairs, tests = grid_hash_join(a, b, resolution=resolution)
+        assert {tuple(p) for p in pairs} == expected_pairs(a, b)
+        # Every reported pair costs at least one test.
+        assert tests >= len(pairs)
+
+    def test_counts_duplicate_tests(self):
+        """Multiple assignment means some pairs are tested repeatedly;
+        the counter must reflect the work actually done."""
+        a = random_boxes(20, 3, side=4, extent=5)
+        b = random_boxes(20, 4, side=4, extent=5)
+        _, tests_fine = grid_hash_join(a, b, resolution=8)
+        _, tests_coarse = grid_hash_join(a, b, resolution=1)
+        # One cell: every probe tests every build box exactly once.
+        assert tests_coarse == len(a) * len(b)
+        assert tests_fine > tests_coarse  # replication inflates work
+
+    def test_2d_support(self):
+        a = random_boxes(25, 5, ndim=2)
+        b = random_boxes(25, 6, ndim=2)
+        pairs, _ = grid_hash_join(a, b)
+        assert {tuple(p) for p in pairs} == expected_pairs(a, b)
+
+
+class TestPlaneSweepJoin:
+    def test_empty_inputs(self):
+        a = random_boxes(5, 0)
+        empty = BoxArray.empty(3)
+        assert plane_sweep_join(a, empty)[0].shape == (0, 2)
+        assert plane_sweep_join(empty, a)[0].shape == (0, 2)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            plane_sweep_join(random_boxes(3, 0, ndim=3), random_boxes(3, 0, ndim=2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(0, 10_000))
+    def test_matches_brute_force(self, na, nb, seed):
+        a = random_boxes(na, seed)
+        b = random_boxes(nb, seed + 1)
+        pairs, tests = plane_sweep_join(a, b)
+        assert {tuple(p) for p in pairs} == expected_pairs(a, b)
+        assert tests >= len(pairs)
+
+    def test_sweep_prunes_x_disjoint(self):
+        """Boxes far apart on x must not be tested at all."""
+        rng = np.random.default_rng(9)
+        lo_a = rng.uniform(0, 1, size=(20, 3))
+        lo_b = rng.uniform(100, 101, size=(20, 3))
+        a = BoxArray(lo_a, lo_a + 0.5)
+        b = BoxArray(lo_b, lo_b + 0.5)
+        _, tests = plane_sweep_join(a, b)
+        assert tests == 0
+
+    def test_identical_inputs_full_diagonal(self):
+        a = random_boxes(15, 7)
+        pairs, _ = plane_sweep_join(a, a)
+        got = {tuple(p) for p in pairs}
+        for i in range(len(a)):
+            assert (i, i) in got
+
+
+class TestKernelsAgree:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(0, 9999))
+    def test_grid_hash_equals_plane_sweep(self, na, nb, seed):
+        a = random_boxes(na, seed, side=10, extent=3)
+        b = random_boxes(nb, seed + 1, side=10, extent=3)
+        g, _ = grid_hash_join(a, b)
+        p, _ = plane_sweep_join(a, b)
+        assert {tuple(x) for x in g} == {tuple(x) for x in p}

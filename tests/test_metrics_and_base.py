@@ -1,0 +1,128 @@
+"""Tests for metrics primitives and the shared join interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.joins.base import (
+    CostModel,
+    Dataset,
+    JoinStats,
+    canonical_pairs,
+)
+from repro.geometry.boxes import BoxArray
+from repro.metrics import Counter, MetricSet, Timer
+from repro.storage.disk import DiskStats
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+
+class TestTimer:
+    def test_accumulates_across_blocks(self):
+        t = Timer("t")
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first
+
+    def test_reset(self):
+        t = Timer("t")
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestMetricSet:
+    def test_lazily_creates(self):
+        m = MetricSet()
+        m.counter("reads").add(3)
+        with m.timer("io"):
+            pass
+        snap = m.snapshot()
+        assert snap["reads"] == 3
+        assert "io_seconds" in snap
+
+    def test_reset_all(self):
+        m = MetricSet()
+        m.counter("a").add(1)
+        m.reset()
+        assert m.snapshot()["a"] == 0
+
+
+class TestCostModel:
+    def test_cpu_cost(self):
+        cm = CostModel(intersection_test_cost=0.01, metadata_test_cost=0.001)
+        assert cm.cpu_cost(100, 1000) == pytest.approx(2.0)
+
+
+class TestJoinStats:
+    def test_absorb_io(self):
+        js = JoinStats()
+        js.absorb_io(
+            DiskStats(
+                pages_read=5, seq_reads=2, random_reads=3,
+                pages_written=1, read_cost=32.0, write_cost=1.0,
+            )
+        )
+        assert js.pages_read == 5
+        assert js.io_cost == 33.0
+
+    def test_total_cost(self):
+        js = JoinStats(intersection_tests=100, io_cost=10.0)
+        cm = CostModel(intersection_test_cost=0.01)
+        assert js.total_cost(cm) == pytest.approx(11.0)
+
+    def test_as_dict_includes_extras_and_costs(self):
+        js = JoinStats(intersection_tests=10)
+        js.extras["custom"] = 7.0
+        d = js.as_dict(CostModel())
+        assert d["custom"] == 7.0
+        assert "total_cost" in d
+        assert "cpu_cost" in d
+
+
+class TestDataset:
+    def _boxes(self, n):
+        lo = np.zeros((n, 3))
+        return BoxArray(lo, lo + 1.0)
+
+    def test_valid(self):
+        d = Dataset("d", np.arange(4), self._boxes(4))
+        assert len(d) == 4
+        assert d.ndim == 3
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            Dataset("d", np.array([1, 1, 2]), self._boxes(3))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset("d", np.arange(3), self._boxes(4))
+
+    def test_rejects_2d_ids(self):
+        with pytest.raises(ValueError):
+            Dataset("d", np.zeros((2, 2), dtype=np.int64), self._boxes(2))
+
+
+class TestCanonicalPairs:
+    def test_dedup_and_sort(self):
+        raw = np.array([[3, 1], [1, 2], [3, 1], [1, 2]])
+        got = canonical_pairs(raw)
+        assert got.tolist() == [[1, 2], [3, 1]]
+
+    def test_empty(self):
+        assert canonical_pairs(np.empty((0, 2))).shape == (0, 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            canonical_pairs(np.zeros((3, 3)))

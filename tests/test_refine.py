@@ -1,0 +1,150 @@
+"""Tests for the refinement step (segment distance, cylinder tests)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.cylinder import Cylinder
+from repro.refine import cylinders_intersect, refine_pairs, segment_distance
+
+
+coords = st.floats(-20, 20, allow_nan=False, allow_infinity=False)
+point = st.tuples(coords, coords, coords)
+
+
+class TestSegmentDistance:
+    def test_parallel_offset(self):
+        d = segment_distance((0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0))
+        assert d == pytest.approx(1.0)
+
+    def test_crossing_segments(self):
+        d = segment_distance((-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0))
+        assert d == pytest.approx(0.0)
+
+    def test_skew_segments(self):
+        # Perpendicular skew lines separated by 1 on z.
+        d = segment_distance((-1, 0, 0), (1, 0, 0), (0, -1, 1), (0, 1, 1))
+        assert d == pytest.approx(1.0)
+
+    def test_point_to_point(self):
+        assert segment_distance((0, 0, 0), (0, 0, 0), (3, 4, 0), (3, 4, 0)) == 5.0
+
+    def test_point_to_segment(self):
+        d = segment_distance((0, 1, 0), (0, 1, 0), (-1, 0, 0), (1, 0, 0))
+        assert d == pytest.approx(1.0)
+
+    def test_endpoint_clamping(self):
+        # Closest approach outside the parameter range: clamp to ends.
+        d = segment_distance((0, 0, 0), (1, 0, 0), (3, 0, 0), (4, 0, 0))
+        assert d == pytest.approx(2.0)
+
+    def test_collinear_overlapping(self):
+        assert segment_distance((0, 0, 0), (2, 0, 0), (1, 0, 0), (3, 0, 0)) == 0.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(point, point, point, point)
+    def test_symmetric(self, p0, p1, q0, q1):
+        d1 = segment_distance(p0, p1, q0, q1)
+        d2 = segment_distance(q0, q1, p0, p1)
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(point, point, point, point)
+    def test_lower_bounded_by_sampled_distance(self, p0, p1, q0, q1):
+        """The true minimum is never above any sampled pair distance."""
+        d = segment_distance(p0, p1, q0, q1)
+        p0a, p1a = np.asarray(p0), np.asarray(p1)
+        q0a, q1a = np.asarray(q0), np.asarray(q1)
+        best = min(
+            float(np.linalg.norm((p0a + (p1a - p0a) * s) - (q0a + (q1a - q0a) * t)))
+            for s in np.linspace(0, 1, 9)
+            for t in np.linspace(0, 1, 9)
+        )
+        # 2e-6 tolerance: segments under sqrt(eps) are treated as
+        # points (documented accuracy bound of segment_distance).
+        assert d <= best + 2e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(point, point, point)
+    def test_zero_when_sharing_endpoint(self, p0, p1, q1):
+        assert segment_distance(p0, p1, p0, q1) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCylindersIntersect:
+    def test_touching_capsules(self):
+        a = Cylinder((0, 0, 0), (2, 0, 0), 0.5)
+        b = Cylinder((0, 1.0, 0), (2, 1.0, 0), 0.5)
+        assert cylinders_intersect(a, b)  # gap 1.0 == r+r
+
+    def test_disjoint(self):
+        a = Cylinder((0, 0, 0), (2, 0, 0), 0.3)
+        b = Cylinder((0, 2, 0), (2, 2, 0), 0.3)
+        assert not cylinders_intersect(a, b)
+
+    def test_crossing(self):
+        a = Cylinder((-2, 0, 0), (2, 0, 0), 0.1)
+        b = Cylinder((0, -2, 0), (0, 2, 0), 0.1)
+        assert cylinders_intersect(a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(point, point, point, point,
+           st.floats(0.01, 2), st.floats(0.01, 2))
+    def test_intersection_implies_mbb_overlap(self, p0, p1, q0, q1, r1, r2):
+        """The MBB filter is conservative: true intersections always
+        survive the filter step."""
+        a = Cylinder(p0, p1, r1)
+        b = Cylinder(q0, q1, r2)
+        if cylinders_intersect(a, b):
+            assert a.mbb().intersects(b.mbb())
+
+
+class TestRefinePairs:
+    def test_filters_candidates(self):
+        a1 = Cylinder((0, 0, 0), (1, 0, 0), 0.2)
+        b_hit = Cylinder((0.5, 0.1, 0), (0.5, 1, 0), 0.2)
+        b_miss = Cylinder((0.5, 5, 0), (0.5, 6, 0), 0.2)
+        got = refine_pairs(
+            [(1, 10), (1, 11)],
+            {1: a1},
+            {10: b_hit, 11: b_miss},
+        )
+        assert got == [(1, 10)]
+
+    def test_missing_geometry_fails_loudly(self):
+        with pytest.raises(KeyError):
+            refine_pairs([(1, 2)], {}, {2: Cylinder((0, 0, 0), (1, 0, 0), 1)})
+
+    def test_end_to_end_with_neuro_model(self):
+        """Filter (TRANSFORMERS) then refine: refined synapses are a
+        subset of the candidates and match brute-force refinement."""
+        from repro.core import TransformersJoin
+        from repro.datagen import scaled_space
+        from repro.datagen.neuro import neuro_model
+
+        from tests.conftest import make_disk
+
+        model = neuro_model(1200, seed=13, space=scaled_space(1200))
+        result, _, _ = TransformersJoin().run(
+            make_disk(), model.axons, model.dendrites
+        )
+        candidates = result.pair_set()
+        refined = set(
+            refine_pairs(
+                candidates, model.axon_cylinders, model.dendrite_cylinders
+            )
+        )
+        assert refined <= candidates
+        # Brute-force the refinement over all candidates to cross-check.
+        expected = {
+            (a, b)
+            for a, b in candidates
+            if cylinders_intersect(
+                model.axon_cylinders[a], model.dendrite_cylinders[b]
+            )
+        }
+        assert refined == expected
+        # On this workload the filter step is meaningfully selective
+        # but not exact: both sets are non-trivial.
+        assert len(refined) > 0

@@ -1,0 +1,71 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make(n_pages: int = 8, capacity: int = 4):
+    disk = SimulatedDisk()
+    pids = [disk.allocate(f"page-{i}") for i in range(n_pages)]
+    return disk, pids, BufferPool(disk, capacity)
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            BufferPool(disk, 0)
+
+    def test_miss_then_hit(self):
+        disk, pids, pool = make()
+        assert pool.read(pids[0]) == "page-0"
+        assert pool.read(pids[0]) == "page-0"
+        assert (pool.hits, pool.misses) == (1, 1)
+        assert disk.stats.pages_read == 1  # hit did not touch the disk
+
+    def test_len_tracks_cached(self):
+        _, pids, pool = make()
+        for pid in pids[:3]:
+            pool.read(pid)
+        assert len(pool) == 3
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        disk, pids, pool = make(capacity=2)
+        pool.read(pids[0])
+        pool.read(pids[1])
+        pool.read(pids[2])  # evicts 0 (least recently used)
+        pool.read(pids[1])  # still cached
+        assert pool.hits == 1
+        pool.read(pids[0])  # must re-read
+        assert disk.stats.pages_read == 4
+
+    def test_access_refreshes_recency(self):
+        disk, pids, pool = make(capacity=2)
+        pool.read(pids[0])
+        pool.read(pids[1])
+        pool.read(pids[0])  # refresh 0; now 1 is LRU
+        pool.read(pids[2])  # evicts 1
+        pool.read(pids[0])
+        assert pool.hits == 2  # the refresh and the final read
+
+
+class TestMaintenance:
+    def test_clear_forces_cold_reads(self):
+        disk, pids, pool = make()
+        pool.read(pids[0])
+        pool.clear()
+        pool.read(pids[0])
+        assert disk.stats.pages_read == 2
+        assert pool.misses == 2
+
+    def test_reset_counters_keeps_cache(self):
+        disk, pids, pool = make()
+        pool.read(pids[0])
+        pool.reset_counters()
+        assert (pool.hits, pool.misses) == (0, 0)
+        pool.read(pids[0])
+        assert pool.hits == 1  # cache content survived

@@ -1,0 +1,147 @@
+"""Tests for the simulated disk: allocation, read classification, costs."""
+
+import pytest
+
+from repro.storage.disk import DiskModel, DiskStats, SimulatedDisk
+
+
+class TestDiskModel:
+    def test_defaults(self):
+        m = DiskModel()
+        assert m.page_size == 8192
+        assert m.random_read_cost > m.seq_read_cost
+
+    def test_rejects_tiny_page(self):
+        with pytest.raises(ValueError):
+            DiskModel(page_size=32)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            DiskModel(seq_read_cost=-1)
+
+    def test_rejects_zero_readahead(self):
+        with pytest.raises(ValueError):
+            DiskModel(readahead_window=0)
+
+
+class TestAllocationAndWrites:
+    def test_allocate_returns_dense_ids(self):
+        disk = SimulatedDisk()
+        assert [disk.allocate(i) for i in range(5)] == [0, 1, 2, 3, 4]
+        assert disk.num_pages == 5
+
+    def test_allocate_charges_write(self):
+        disk = SimulatedDisk()
+        disk.allocate("x")
+        assert disk.stats.pages_written == 1
+        assert disk.stats.write_cost == disk.model.write_cost
+
+    def test_write_overwrites(self):
+        disk = SimulatedDisk()
+        pid = disk.allocate("old")
+        disk.write(pid, "new")
+        assert disk.peek(pid) == "new"
+        assert disk.stats.pages_written == 2
+
+    def test_write_unallocated_raises(self):
+        disk = SimulatedDisk()
+        with pytest.raises(KeyError):
+            disk.write(3, "x")
+
+
+class TestReadClassification:
+    def test_first_read_is_random(self):
+        disk = SimulatedDisk()
+        pid = disk.allocate("x")
+        disk.read(pid)
+        assert disk.stats.random_reads == 1
+        assert disk.stats.seq_reads == 0
+
+    def test_next_page_is_sequential(self):
+        disk = SimulatedDisk()
+        pids = [disk.allocate(i) for i in range(3)]
+        for pid in pids:
+            disk.read(pid)
+        assert disk.stats.seq_reads == 2
+        assert disk.stats.random_reads == 1
+
+    def test_forward_skip_within_readahead_is_sequential(self):
+        disk = SimulatedDisk(DiskModel(readahead_window=4))
+        pids = [disk.allocate(i) for i in range(10)]
+        disk.read(pids[0])
+        disk.read(pids[4])  # skip of 4 <= window
+        assert disk.stats.seq_reads == 1
+
+    def test_forward_skip_beyond_readahead_is_random(self):
+        disk = SimulatedDisk(DiskModel(readahead_window=4))
+        pids = [disk.allocate(i) for i in range(10)]
+        disk.read(pids[0])
+        disk.read(pids[5])  # skip of 5 > window
+        assert disk.stats.random_reads == 2
+
+    def test_backward_jump_is_random(self):
+        disk = SimulatedDisk()
+        pids = [disk.allocate(i) for i in range(3)]
+        disk.read(pids[2])
+        disk.read(pids[0])
+        assert disk.stats.random_reads == 2
+
+    def test_repeated_same_page_is_random(self):
+        disk = SimulatedDisk()
+        pid = disk.allocate("x")
+        disk.read(pid)
+        disk.read(pid)  # distance 0: not a forward skip
+        assert disk.stats.random_reads == 2
+
+    def test_costs_accumulate(self):
+        model = DiskModel(seq_read_cost=1.0, random_read_cost=20.0)
+        disk = SimulatedDisk(model)
+        pids = [disk.allocate(i) for i in range(2)]
+        disk.read(pids[0])  # random
+        disk.read(pids[1])  # sequential
+        assert disk.stats.read_cost == 21.0
+
+    def test_read_unallocated_raises(self):
+        disk = SimulatedDisk()
+        with pytest.raises(KeyError):
+            disk.read(0)
+
+
+class TestStatsManagement:
+    def test_peek_is_free(self):
+        disk = SimulatedDisk()
+        pid = disk.allocate("x")
+        disk.peek(pid)
+        assert disk.stats.pages_read == 0
+
+    def test_reset_stats_clears_and_forgets_head(self):
+        disk = SimulatedDisk()
+        pids = [disk.allocate(i) for i in range(2)]
+        disk.read(pids[0])
+        disk.reset_stats()
+        assert disk.stats.pages_read == 0
+        disk.read(pids[1])  # would be sequential if head were remembered
+        assert disk.stats.random_reads == 1
+
+    def test_snapshot_is_independent(self):
+        disk = SimulatedDisk()
+        pid = disk.allocate("x")
+        snap = disk.stats.snapshot()
+        disk.read(pid)
+        assert snap.pages_read == 0
+        assert disk.stats.pages_read == 1
+
+    def test_delta(self):
+        disk = SimulatedDisk()
+        pids = [disk.allocate(i) for i in range(3)]
+        disk.read(pids[0])
+        snap = disk.stats.snapshot()
+        disk.read(pids[1])
+        disk.read(pids[2])
+        delta = disk.stats.delta(snap)
+        assert delta.pages_read == 2
+        assert delta.seq_reads == 2
+
+    def test_total_cost(self):
+        stats = DiskStats(read_cost=3.0, write_cost=2.0)
+        assert stats.total_cost == 5.0

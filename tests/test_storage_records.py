@@ -1,0 +1,122 @@
+"""Tests for the fixed-size record codec and page payloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.boxes import BoxArray
+from repro.storage.page import ElementPage, element_page_capacity
+from repro.storage.records import RecordCodec
+
+
+class TestCodecBasics:
+    def test_record_size_3d(self):
+        assert RecordCodec(3).record_size == 56
+
+    def test_record_size_general(self):
+        for d in (1, 2, 4):
+            assert RecordCodec(d).record_size == 8 + 16 * d
+
+    def test_capacity_8k(self):
+        assert RecordCodec(3).capacity(8192) == 146
+
+    def test_capacity_rejects_too_small_page(self):
+        with pytest.raises(ValueError):
+            RecordCodec(3).capacity(40)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            RecordCodec(0)
+
+    def test_encode_length_mismatch(self):
+        codec = RecordCodec(2)
+        boxes = BoxArray(np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            codec.encode(np.array([1]), boxes)
+
+    def test_encode_dim_mismatch(self):
+        codec = RecordCodec(3)
+        boxes = BoxArray(np.zeros((1, 2)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            codec.encode(np.array([1]), boxes)
+
+    def test_decode_bad_length(self):
+        with pytest.raises(ValueError):
+            RecordCodec(3).decode(b"\x00" * 55)
+
+    def test_decode_empty(self):
+        ids, boxes = RecordCodec(3).decode(b"")
+        assert len(ids) == 0
+        assert boxes.ndim == 3
+
+
+class TestRoundtrip:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 3), st.integers(1, 12), st.integers(0, 2**31))
+    def test_roundtrip(self, ndim, n, seed):
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(-1e6, 1e6, size=(n, ndim))
+        hi = lo + rng.uniform(0, 1e3, size=(n, ndim))
+        ids = rng.integers(-(2**62), 2**62, size=n)
+        codec = RecordCodec(ndim)
+        data = codec.encode(ids, BoxArray(lo, hi))
+        assert len(data) == n * codec.record_size
+        got_ids, got_boxes = codec.decode(data)
+        assert np.array_equal(got_ids, ids)
+        assert np.array_equal(got_boxes.lo, lo)
+        assert np.array_equal(got_boxes.hi, hi)
+
+
+class TestElementPage:
+    def _page(self, n=5, ndim=3, seed=0):
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(0, 10, size=(n, ndim))
+        return ElementPage(
+            np.arange(n), BoxArray(lo, lo + rng.uniform(0, 1, size=(n, ndim)))
+        )
+
+    def test_len(self):
+        assert len(self._page(7)) == 7
+
+    def test_rejects_length_mismatch(self):
+        boxes = BoxArray(np.zeros((2, 3)), np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            ElementPage(np.array([1, 2, 3]), boxes)
+
+    def test_rejects_2d_ids(self):
+        boxes = BoxArray(np.zeros((2, 3)), np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            ElementPage(np.zeros((2, 1), dtype=np.int64), boxes)
+
+    def test_immutable(self):
+        page = self._page()
+        with pytest.raises(AttributeError):
+            page.ids = np.array([1])
+        with pytest.raises(ValueError):
+            page.ids[0] = 99
+
+    def test_bytes_roundtrip(self):
+        page = self._page(9, seed=3)
+        back = ElementPage.from_bytes(page.to_bytes(), ndim=3)
+        assert np.array_equal(back.ids, page.ids)
+        assert np.array_equal(back.boxes.lo, page.boxes.lo)
+
+    def test_capacity_consistent_with_codec(self):
+        # The page capacity used by all partitioners must equal what the
+        # byte-level record layout permits.
+        for page_size in (1024, 4096, 8192):
+            for ndim in (2, 3):
+                assert (
+                    element_page_capacity(page_size, ndim)
+                    == RecordCodec(ndim).capacity(page_size)
+                )
+
+    def test_full_page_fits_in_page_size(self):
+        page_size = 1024
+        capacity = element_page_capacity(page_size, 3)
+        rng = np.random.default_rng(1)
+        lo = rng.uniform(0, 10, size=(capacity, 3))
+        page = ElementPage(
+            np.arange(capacity), BoxArray(lo, lo + 1.0)
+        )
+        assert len(page.to_bytes()) <= page_size
