@@ -1,9 +1,12 @@
 """Shared benchmark configuration.
 
 Every benchmark regenerates one table or figure of the paper through
-the same code path as ``python -m repro.harness.experiments`` and then
-asserts the *shape* the paper reports (who wins, roughly by how much).
-Absolute numbers are simulated-cost units, not hours — see DESIGN.md §2.
+the same code path as ``python -m repro.harness.experiments`` — which
+runs each measurement on a fresh
+:class:`~repro.engine.workspace.SpatialWorkspace` (cold caches between
+phases, nothing shared between runs) — and then asserts the *shape*
+the paper reports (who wins, roughly by how much).  Absolute numbers
+are simulated-cost units, not hours — see DESIGN.md §2.
 
 Scale can be raised for closer-to-paper runs::
 

@@ -6,6 +6,11 @@ take-away the paper opens with: every static strategy has a regime
 where it collapses; TRANSFORMERS stays flat because it adapts roles
 and data layout at run time.
 
+Each run goes through a fresh :class:`~repro.engine.SpatialWorkspace`
+with the algorithm picked by registry name — the planner resolves
+PBSM's grid resolution and the shared space, so no per-rung tuning
+appears in this script (which is the paper's point).
+
 Run with::
 
     python examples/density_robustness.py [largest_size]
@@ -13,14 +18,9 @@ Run with::
 
 import sys
 
-from repro import (
-    GipsyJoin,
-    PBSMJoin,
-    SynchronizedRTreeJoin,
-    TransformersJoin,
-    density_ladder,
-)
-from repro.harness.runner import pbsm_resolution, run_pair
+from repro import SpatialWorkspace, density_ladder
+
+ALGORITHMS = ("transformers", "pbsm", "gipsy", "rtree")
 
 
 def main(largest: int = 12_000) -> None:
@@ -31,15 +31,10 @@ def main(largest: int = 12_000) -> None:
         space = a.boxes.mbb().union(b.boxes.mbb())
         costs = {}
         pairs = set()
-        for algo in (
-            TransformersJoin(),
-            PBSMJoin(space=space, resolution=pbsm_resolution(len(a) + len(b))),
-            GipsyJoin(),
-            SynchronizedRTreeJoin(),
-        ):
-            rec = run_pair(algo, a, b)
-            costs[rec.algorithm] = rec.join_cost
-            pairs.add(rec.pairs_found)
+        for name in ALGORITHMS:
+            rep = SpatialWorkspace().join(a, b, algorithm=name, space=space)
+            costs[rep.algorithm] = rep.join_cost
+            pairs.add(rep.pairs_found)
         assert len(pairs) == 1, "algorithms disagree on the result!"
         print(
             f"{len(a):>7} {len(b):>7} {ratio:>9.3f} | "

@@ -5,8 +5,13 @@ resolution depends on both inputs — its partitions "cannot efficiently
 be reused when joining with datasets that have considerably different
 characteristics".  A TRANSFORMERS index depends only on its own
 dataset, so indexing once and joining many partners amortises the
-higher build cost.  This example joins one base dataset against three
-partners and compares cumulative cost curves.
+higher build cost.
+
+The :class:`~repro.engine.SpatialWorkspace` makes this concrete: its
+index cache reuses `base`'s TRANSFORMERS index across all three joins
+(the reports show zero index pages written for `base` after the first),
+while PBSM — registered as non-reusable, because its grid is a
+pair-level artefact — is rebuilt for every pairing.
 
 Run with::
 
@@ -14,19 +19,14 @@ Run with::
 """
 
 from repro import (
-    CostModel,
-    PBSMJoin,
-    SimulatedDisk,
-    TransformersJoin,
+    SpatialWorkspace,
     dense_cluster,
     massive_cluster,
     scaled_space,
     uniform_dataset,
 )
-from repro.harness.runner import experiment_disk_model, pbsm_resolution
 
 N = 8_000
-COST_MODEL = CostModel()
 
 
 def main() -> None:
@@ -38,33 +38,26 @@ def main() -> None:
         massive_cluster(N, seed=4, name="p3", id_offset=3 * 10**9, space=space),
     ]
 
-    # --- TRANSFORMERS: one index for `base`, one per partner. --------
-    disk = SimulatedDisk(experiment_disk_model())
-    tr = TransformersJoin()
-    index_base, build_base = tr.build_index(disk, base)
-    tr_cumulative = build_base.total_cost(COST_MODEL)
-    tr_curve = []
-    for partner in partners:
-        index_p, build_p = tr.build_index(disk, partner)
-        disk.reset_stats()
-        result = tr.join(index_base, index_p)
-        tr_cumulative += build_p.total_cost(COST_MODEL)
-        tr_cumulative += result.stats.total_cost(COST_MODEL)
-        tr_curve.append(tr_cumulative)
-
-    # --- PBSM: must re-partition `base` for every pairing. -----------
+    ws = SpatialWorkspace()
+    tr_cumulative = 0.0
     pbsm_cumulative = 0.0
+    tr_curve = []
     pbsm_curve = []
     for partner in partners:
-        disk = SimulatedDisk(experiment_disk_model())
-        algo = PBSMJoin(space=space, resolution=pbsm_resolution(2 * N))
-        ia, build_a = algo.build_index(disk, base)     # rebuilt each time
-        ib, build_b = algo.build_index(disk, partner)
-        disk.reset_stats()
-        result = algo.join(ia, ib)
-        pbsm_cumulative += build_a.total_cost(COST_MODEL)
-        pbsm_cumulative += build_b.total_cost(COST_MODEL)
-        pbsm_cumulative += result.stats.total_cost(COST_MODEL)
+        # TRANSFORMERS: `base`'s index is built once and then served
+        # from the workspace cache (index_cost charges fresh builds
+        # only).
+        rep = ws.join(base, partner, algorithm="transformers", space=space)
+        assert rep.index_pages_written_a == 0 or not tr_curve, (
+            "base index should be built exactly once"
+        )
+        tr_cumulative += rep.total_cost()
+        tr_curve.append(tr_cumulative)
+
+        # PBSM: the shared grid is a pair-level artefact; the engine
+        # re-partitions `base` for every pairing.
+        rep = ws.join(base, partner, algorithm="pbsm", space=space)
+        pbsm_cumulative += rep.total_cost()
         pbsm_curve.append(pbsm_cumulative)
 
     print("cumulative cost after joining `base` with k partners:")

@@ -6,10 +6,10 @@ intersects a dendrite, a synapse is placed.  This example generates a
 synthetic model with the same spatial character (60% axons biased to
 the top of the volume, 40% dendrites below), runs the *filter* step of
 the synapse-detection join with TRANSFORMERS and with PBSM (the
-comparison of the paper's Figure 12), and then the application-specific
-*refinement* step the paper's evaluation excludes: exact
-cylinder-cylinder tests that confirm true synapses among the MBB
-candidates.
+comparison of the paper's Figure 12) through the workspace engine, and
+then the application-specific *refinement* step the paper's evaluation
+excludes: exact cylinder-cylinder tests that confirm true synapses
+among the MBB candidates.
 
 Run with::
 
@@ -18,15 +18,8 @@ Run with::
 
 import sys
 
-from repro import (
-    CostModel,
-    PBSMJoin,
-    SimulatedDisk,
-    TransformersJoin,
-    scaled_space,
-)
+from repro import SpatialWorkspace, scaled_space
 from repro.datagen.neuro import neuro_model
-from repro.harness.runner import pbsm_resolution, run_pair
 from repro.refine import refine_pairs
 
 
@@ -40,26 +33,24 @@ def main(n_total: int = 20_000) -> None:
         f"in a {space.hi[0]:.0f}-unit cube"
     )
 
-    cost_model = CostModel()
-    records = [
-        run_pair(TransformersJoin(), axons, dendrites),
-        run_pair(
-            PBSMJoin(space=space, resolution=pbsm_resolution(n_total)),
-            axons,
-            dendrites,
-        ),
+    # One fresh workspace per algorithm: the paper's cold protocol.
+    reports = [
+        SpatialWorkspace().join(
+            axons, dendrites, algorithm=name, space=space
+        )
+        for name in ("transformers", "pbsm")
     ]
 
     print(f"\n{'algorithm':14} {'synapse cands':>14} {'index cost':>11} "
           f"{'join cost':>10} {'join I/O':>9} {'tests':>10}")
-    for rec in records:
+    for rep in reports:
         print(
-            f"{rec.algorithm:14} {rec.pairs_found:>14,} "
-            f"{rec.index_cost:>11,.0f} {rec.join_cost:>10,.0f} "
-            f"{rec.join_io_cost:>9,.0f} {rec.intersection_tests:>10,}"
+            f"{rep.algorithm:14} {rep.pairs_found:>14,} "
+            f"{rep.index_cost:>11,.0f} {rep.join_cost:>10,.0f} "
+            f"{rep.join_io_cost:>9,.0f} {rep.intersection_tests:>10,}"
         )
 
-    tr, pbsm = records
+    tr, pbsm = reports
     assert tr.pairs_found == pbsm.pairs_found, "algorithms disagree!"
     print(
         f"\nTRANSFORMERS joins {pbsm.join_cost / tr.join_cost:.1f}x faster "
@@ -69,11 +60,7 @@ def main(n_total: int = 20_000) -> None:
 
     # Refinement: confirm true synapses among the MBB candidates with
     # exact cylinder-cylinder intersection tests.
-    disk = SimulatedDisk()
-    algo = TransformersJoin()
-    ia, _ = algo.build_index(disk, axons)
-    ib, _ = algo.build_index(disk, dendrites)
-    candidates = algo.join(ia, ib).pair_set()
+    candidates = tr.pair_set()
     synapses = refine_pairs(
         candidates, model.axon_cylinders, model.dendrite_cylinders
     )

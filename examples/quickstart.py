@@ -1,21 +1,17 @@
-"""Quickstart: join two spatial datasets with TRANSFORMERS.
+"""Quickstart: join two spatial datasets through the workspace.
 
-Builds two small synthetic datasets, indexes them on a simulated disk,
-runs the adaptive join, and prints the result together with the work
-counters the library reports (page I/O, comparisons, transformations).
+Builds two small synthetic datasets, hands them to a
+:class:`~repro.engine.SpatialWorkspace` — which owns the simulated
+disk, builds one reusable index per dataset, and runs the join with
+cold caches — and prints the structured report the engine returns
+(page I/O, comparisons, transformations).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    BruteForceJoin,
-    SimulatedDisk,
-    TransformersJoin,
-    scaled_space,
-    uniform_dataset,
-)
+from repro import SpatialWorkspace, scaled_space, uniform_dataset
 
 
 def main() -> None:
@@ -27,21 +23,17 @@ def main() -> None:
         10_000, seed=2, name="sensors", id_offset=10**9, space=space
     )
 
-    disk = SimulatedDisk()
-    algo = TransformersJoin()
+    ws = SpatialWorkspace()
 
-    # Index phase: each dataset gets its own reusable index.
-    index_a, build_a = algo.build_index(disk, a)
-    index_b, build_b = algo.build_index(disk, b)
-    print(f"indexed {a.name}: {build_a.pages_written} pages written")
-    print(f"indexed {b.name}: {build_b.pages_written} pages written")
+    # One call: index phase (a reusable index per dataset), cold-cache
+    # join phase, structured report.  algorithm="auto" would let the
+    # planner decide; here we name the paper's contribution explicitly.
+    report = ws.join(a, b, algorithm="transformers")
+    print(f"indexed {a.name}: {report.build_a.pages_written} pages written")
+    print(f"indexed {b.name}: {report.build_b.pages_written} pages written")
 
-    # Join phase: cold caches, exactly like the paper's protocol.
-    disk.reset_stats()
-    result = algo.join(index_a, index_b)
-    stats = result.stats
-
-    print(f"\n{stats.pairs_found} intersecting pairs found")
+    stats = report.join_stats
+    print(f"\n{report.pairs_found} intersecting pairs found")
     print(f"pages read        : {stats.pages_read} "
           f"({stats.seq_reads} sequential, {stats.random_reads} random)")
     print(f"intersection tests: {stats.intersection_tests}")
@@ -51,9 +43,10 @@ def main() -> None:
           f"{stats.extras['splits_to_element']:.0f} to elements")
     print(f"wall time         : {stats.wall_seconds:.2f}s")
 
-    # Verify against the exact oracle (cheap at this scale).
-    oracle = BruteForceJoin().join(a, b)
-    assert result.pair_set() == oracle.pair_set(), "filter step mismatch!"
+    # Verify against the exact oracle (cheap at this scale) — the
+    # registry serves it under the same API (it has no index phase).
+    oracle = ws.join(a, b, algorithm="brute")
+    assert report.pair_set() == oracle.pair_set(), "filter step mismatch!"
     print("\nresult verified against the brute-force oracle ✓")
 
 

@@ -3,9 +3,10 @@
 A TRANSFORMERS index is a per-dataset artefact (Section VII-C1): build
 it once, save it, and serve spatial workloads from it later — joins
 against new partners *and* classic range queries, both through the
-same walk/crawl machinery.  This example builds an index over a
-clustered dataset, saves it to disk, reloads it in a "new session",
-and answers range queries, verifying against a full scan.
+same walk/crawl machinery.  This example builds an index through a
+:class:`~repro.engine.SpatialWorkspace`, saves it to disk, reopens it
+in a "new session" with :meth:`SpatialWorkspace.from_saved`, and
+answers range queries, verifying against a full scan.
 
 Run with::
 
@@ -18,15 +19,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import BufferPool, dense_cluster, scaled_space
-from repro.core import (
-    build_transformers_index,
-    load_index,
-    range_query,
-    save_index,
-)
+from repro import SpatialWorkspace, dense_cluster, scaled_space
+from repro.core import save_index
 from repro.geometry.box import Box
-from repro.storage import SimulatedDisk
 
 N = 20_000
 
@@ -36,8 +31,8 @@ def main() -> None:
     data = dense_cluster(N, seed=3, name="observations", space=space)
 
     # Session 1: build and persist the index.
-    disk = SimulatedDisk()
-    index, build_stats = build_transformers_index(disk, data)
+    ws = SpatialWorkspace()
+    index, build_stats = ws.build_index(data, algorithm="transformers")
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "observations.idx.npz"
         save_index(index, str(path))
@@ -47,23 +42,24 @@ def main() -> None:
             f"{path.stat().st_size / 1024:.0f} KiB to {path.name}"
         )
 
-        # Session 2: reload and query.
-        loaded, disk2 = load_index(str(path))
-        pool = BufferPool(disk2, 512)
+        # Session 2: reopen the saved index in a fresh workspace and
+        # query it by dataset name — no disk wiring, no rebuild.
+        ws2 = SpatialWorkspace.from_saved(str(path))
+        loaded = ws2.index_for("observations")
         rng = np.random.default_rng(7)
         print(f"\n{'query center':>24} {'hits':>6} {'pages read':>11} {'ok':>3}")
         for _ in range(5):
             center = rng.uniform(space.lo, space.hi)
             query = Box(tuple(center - 2.0), tuple(center + 2.0))
-            disk2.reset_stats()
             t0 = time.perf_counter()
-            hits = range_query(loaded, query, pool)
+            hits = ws2.range_query("observations", query)
             elapsed = time.perf_counter() - t0
             expected = np.sort(data.ids[data.boxes.intersects_box(query)])
             ok = np.array_equal(hits, expected)
             label = "(" + ", ".join(f"{c:.0f}" for c in center) + ")"
             print(
-                f"{label:>24} {len(hits):>6} {disk2.stats.pages_read:>11} "
+                f"{label:>24} {len(hits):>6} "
+                f"{ws2.disk.stats.pages_read:>11} "
                 f"{'✓' if ok else '✗':>3}   ({elapsed*1000:.1f} ms)"
             )
         print(

@@ -3,6 +3,12 @@ Non-Uniform Data Distributions" (Pavlovic et al., ICDE 2016).
 
 Public API tour:
 
+* **the engine** — :class:`~repro.engine.SpatialWorkspace`, the
+  recommended entry point: owns the simulated disk, resolves algorithm
+  names through a registry (:func:`~repro.engine.available_algorithms`),
+  plans ``algorithm="auto"``, caches per-dataset indexes for reuse
+  across joins and :meth:`~repro.engine.SpatialWorkspace.range_query`,
+  and returns structured :class:`~repro.engine.RunReport` objects;
 * **the contribution** — :class:`~repro.core.TransformersJoin` with
   :class:`~repro.core.TransformersConfig`;
 * **baselines** — :class:`~repro.joins.PBSMJoin`,
@@ -18,20 +24,38 @@ Public API tour:
 
 Quickstart::
 
-    from repro import (
-        Dataset, SimulatedDisk, TransformersJoin, uniform_dataset,
-        scaled_space,
-    )
+    from repro import SpatialWorkspace, scaled_space, uniform_dataset
 
     space = scaled_space(20_000)
     a = uniform_dataset(10_000, seed=1, name="A", space=space)
     b = uniform_dataset(10_000, seed=2, name="B", id_offset=10**9,
                         space=space)
-    result, build_a, build_b = TransformersJoin().run(SimulatedDisk(), a, b)
-    print(result.stats.pairs_found, "intersecting pairs")
+
+    ws = SpatialWorkspace()
+    report = ws.join(a, b)          # planner picks the algorithm
+    print(report.pairs_found, "intersecting pairs",
+          f"(ran {report.algorithm}, cost {report.total_cost():.0f})")
+    hits = ws.range_query(a, space) # reuses a's index, zero rebuilds
+
+The legacy path — wiring a :class:`~repro.storage.SimulatedDisk` by
+hand and unpacking ``TransformersJoin().run(disk, a, b)`` into a
+``(result, build_a, build_b)`` tuple — still works, but new code
+should go through the workspace.
 """
 
-from repro.core import TransformersConfig, TransformersIndex, TransformersJoin
+from repro.core import (
+    TransformersConfig,
+    TransformersIndex,
+    TransformersJoin,
+    range_query,
+)
+from repro.engine import (
+    RunReport,
+    SpatialWorkspace,
+    available_algorithms,
+    plan_join,
+    register_algorithm,
+)
 from repro.datagen import (
     SPACE,
     dense_cluster,
@@ -59,10 +83,17 @@ from repro.joins import (
 )
 from repro.storage import BufferPool, DiskModel, SimulatedDisk
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # engine (recommended entry point)
+    "SpatialWorkspace",
+    "RunReport",
+    "available_algorithms",
+    "plan_join",
+    "register_algorithm",
+    "range_query",
     # core
     "TransformersJoin",
     "TransformersConfig",

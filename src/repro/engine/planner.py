@@ -1,0 +1,169 @@
+"""Join planning: resolve ``algorithm="auto"`` and per-algorithm knobs.
+
+The paper's headline claim is robustness — TRANSFORMERS wins *without
+per-workload tuning* (Table I, Figs. 10-12) — so the planner's job is
+mostly to keep that tuning away from callers:
+
+* it inspects the two datasets (cardinalities, shared extent) and
+  resolves ``"auto"`` to a concrete registered algorithm.  The policy
+  mirrors the evaluation: TRANSFORMERS everywhere, except at *extreme*
+  cardinality contrasts where GIPSY's directed crawl from the sparse
+  side wins (the edges of Fig. 10);
+* it computes the parameters each baseline would otherwise need
+  hand-wired — PBSM's grid resolution sweep stand-in, SSSJ's shared
+  strip extent, S3's shared space — and packages them as
+  :class:`PlanHints` for the registry factories.
+
+This module also owns the experiment-wide storage defaults
+(:data:`EXPERIMENT_PAGE_SIZE`, :func:`experiment_disk_model`,
+:func:`pbsm_resolution`) that historically lived in
+``repro.harness.runner``; the harness re-exports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.registry import algorithm_spec, create_algorithm
+from repro.geometry.box import Box
+from repro.joins.base import Dataset, SpatialJoinAlgorithm
+from repro.storage.disk import DiskModel
+
+#: Default page size for scaled-down experiments.  The paper uses 8 KB
+#: pages on datasets of 10⁸ elements; scaling both the datasets (to
+#: ~10⁴) and the page (to 1 KB ≈ 18 elements) keeps the page count and
+#: hierarchy depth in a realistic regime.  See DESIGN.md §2.
+EXPERIMENT_PAGE_SIZE = 1024
+
+#: Cardinality contrast at or beyond which ``"auto"`` prefers GIPSY.
+#: Fig. 10: GIPSY overtakes TRANSFORMERS only at the outermost rungs of
+#: the density ladder (three decades of contrast); 64× is comfortably
+#: inside that regime and far outside every balanced workload.
+GIPSY_RATIO_THRESHOLD = 64.0
+
+
+def experiment_disk_model(page_size: int = EXPERIMENT_PAGE_SIZE) -> DiskModel:
+    """The disk model used by all experiments (one shared definition)."""
+    return DiskModel(page_size=page_size)
+
+
+def pbsm_resolution(n_total: int, page_size: int = EXPERIMENT_PAGE_SIZE) -> int:
+    """PBSM grid resolution heuristic standing in for the paper's sweep.
+
+    The paper picks the number of partitions per dataset pair with a
+    parameter sweep (10³ cells for 10⁸-element synthetic data, 20³ for
+    neuroscience).  The balance it strikes — enough elements per cell
+    to fill pages, few enough to keep the in-memory join cheap — scales
+    as the cube root of elements per cell; we target about four data
+    pages per cell and clamp to a sane range.
+    """
+    from repro.storage.page import element_page_capacity
+
+    per_cell = 4 * element_page_capacity(page_size, 3)
+    cells = max(1, n_total // per_cell)
+    return max(2, min(30, round(cells ** (1.0 / 3.0))))
+
+
+@dataclass
+class PlanHints:
+    """Planner-resolved inputs handed to registry factories.
+
+    ``space`` is the extent shared by both join inputs (PBSM/S3/SSSJ
+    partition it identically for A and B); ``parameters`` carries the
+    per-algorithm knobs the planner resolved, read back through
+    :meth:`param`.
+    """
+
+    space: Box | None
+    n_a: int
+    n_b: int
+    page_size: int = EXPERIMENT_PAGE_SIZE
+    parameters: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_total(self) -> int:
+        """Combined cardinality of the pair."""
+        return self.n_a + self.n_b
+
+    @property
+    def cardinality_ratio(self) -> float:
+        """Contrast between the two inputs (always >= 1)."""
+        lo, hi = sorted((max(self.n_a, 1), max(self.n_b, 1)))
+        return hi / lo
+
+    def param(self, key: str, default: object = None) -> object:
+        """One resolved parameter, with a factory-side default."""
+        return self.parameters.get(key, default)
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The planner's decision for one join: what to run and why."""
+
+    requested: str
+    algorithm: str
+    reason: str
+    hints: PlanHints
+
+    def create(self) -> SpatialJoinAlgorithm:
+        """Instantiate the resolved algorithm from the registry."""
+        return create_algorithm(self.algorithm, self.hints)
+
+
+def shared_space(a: Dataset, b: Dataset) -> Box:
+    """The extent the space-partitioning baselines must agree on."""
+    return a.boxes.mbb().union(b.boxes.mbb())
+
+
+def plan_join(
+    a: Dataset,
+    b: Dataset,
+    algorithm: str = "auto",
+    *,
+    space: Box | None = None,
+    page_size: int = EXPERIMENT_PAGE_SIZE,
+    parameters: dict[str, object] | None = None,
+) -> JoinPlan:
+    """Resolve an algorithm name (possibly ``"auto"``) into a JoinPlan.
+
+    ``space`` overrides the shared extent (experiments pass the full
+    generated space; the default is the tight union of both MBBs).
+    ``parameters`` overrides individual resolved knobs (e.g.
+    ``{"resolution": 8}`` to pin PBSM's grid).
+    """
+    hints = PlanHints(
+        space=space if space is not None else shared_space(a, b),
+        n_a=len(a),
+        n_b=len(b),
+        page_size=page_size,
+    )
+    hints.parameters["resolution"] = pbsm_resolution(hints.n_total, page_size)
+    if parameters:
+        hints.parameters.update(parameters)
+
+    requested = algorithm.strip().lower()
+    if requested == "auto":
+        ratio = hints.cardinality_ratio
+        if ratio >= GIPSY_RATIO_THRESHOLD and (
+            algorithm_spec("gipsy").plannable
+        ):
+            resolved = "gipsy"
+            reason = (
+                f"extreme cardinality contrast ({ratio:.0f}x >= "
+                f"{GIPSY_RATIO_THRESHOLD:.0f}x): crawl from the sparse "
+                "side (paper Fig. 10, ladder edges)"
+            )
+        else:
+            resolved = "transformers"
+            reason = (
+                f"robust default at {ratio:.1f}x contrast; adapts roles "
+                "and layout at run time (paper Table I, Figs. 10-12)"
+            )
+    else:
+        resolved = algorithm_spec(requested).name
+        reason = "requested explicitly"
+    # Validate eagerly so a typo fails at plan time, not join time.
+    algorithm_spec(resolved)
+    return JoinPlan(
+        requested=requested, algorithm=resolved, reason=reason, hints=hints
+    )

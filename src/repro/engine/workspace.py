@@ -1,0 +1,349 @@
+"""The recommended entry point: a workspace owning disk, cache and plans.
+
+:class:`SpatialWorkspace` bundles everything a join run used to require
+hand-wiring — a :class:`~repro.storage.disk.SimulatedDisk`, buffer
+pools, the PBSM resolution heuristic, algorithm construction — behind
+two calls::
+
+    ws = SpatialWorkspace()
+    report = ws.join(a, b)                  # planner picks the algorithm
+    hits = ws.range_query(a, query_box)     # reuses a's index
+
+The workspace keeps a keyed **index cache**: joining the same dataset
+again (with an algorithm whose index is per-dataset, which is all of
+them except PBSM) reuses the built index instead of rebuilding it, so
+the second join writes zero additional index pages for that side —
+the paper's index-reuse argument (Section VII-C1) made observable.
+
+Measurement protocol matches the paper (and ``harness.runner``): index
+builds are accounted per phase, then disk statistics are reset so the
+join phase starts with cold caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TransformersJoin
+from repro.core.indexing import TransformersIndex
+from repro.core.query import range_query as _transformers_range_query
+from repro.engine.planner import (
+    JoinPlan,
+    PlanHints,
+    experiment_disk_model,
+    plan_join,
+)
+from repro.engine.registry import algorithm_spec, spec_for_instance
+from repro.engine.report import RunReport
+from repro.geometry.box import Box
+from repro.joins.base import CostModel, Dataset, JoinStats, SpatialJoinAlgorithm
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+class _CachedIndex:
+    """One cached per-dataset index and its build provenance."""
+
+    __slots__ = ("dataset", "handle", "build_stats", "pages_written")
+
+    def __init__(
+        self,
+        dataset: Dataset | None,
+        handle: object,
+        build_stats: JoinStats,
+        pages_written: int,
+    ) -> None:
+        self.dataset = dataset
+        self.handle = handle
+        self.build_stats = build_stats
+        self.pages_written = pages_written
+
+
+def _algorithm_signature(algo: SpatialJoinAlgorithm) -> str:
+    """Stable cache signature of a configured algorithm instance.
+
+    Private attributes are skipped: they hold runtime helpers whose
+    reprs are not value-based.
+    """
+    public = {
+        k: v for k, v in vars(algo).items() if not k.startswith("_")
+    }
+    inner = ", ".join(f"{k}={public[k]!r}" for k in sorted(public))
+    return f"{algo.name}({inner})"
+
+
+class SpatialWorkspace:
+    """Spatial-join engine: one disk, one index cache, one planner.
+
+    Parameters
+    ----------
+    disk_model:
+        Storage cost model; default is the experiments' 1 KB-page model.
+    cost_model:
+        CPU cost model used by the reports' simulated-time figures.
+    disk:
+        Adopt an existing simulated disk (used by :meth:`from_saved`);
+        mutually exclusive with ``disk_model``.
+    """
+
+    def __init__(
+        self,
+        disk_model: DiskModel | None = None,
+        cost_model: CostModel | None = None,
+        disk: SimulatedDisk | None = None,
+    ) -> None:
+        if disk is not None and disk_model is not None:
+            raise ValueError("pass either disk or disk_model, not both")
+        self.disk = disk if disk is not None else SimulatedDisk(
+            disk_model or experiment_disk_model()
+        )
+        self.cost_model = cost_model or CostModel()
+        self._cache: dict[tuple[object, str], _CachedIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_saved(cls, path: str) -> "SpatialWorkspace":
+        """Open a workspace around a persisted TRANSFORMERS index.
+
+        The index saved by :func:`repro.core.save_index` is adopted
+        under its dataset name, so ``range_query(name, box)`` works
+        immediately — a "new session" serving queries from yesterday's
+        index.
+        """
+        from repro.core.persist import load_index
+
+        index, disk = load_index(path)
+        ws = cls(disk=disk)
+        ws.adopt_index(index.dataset_name, index)
+        return ws
+
+    def adopt_index(self, name: str, index: TransformersIndex) -> None:
+        """Register an externally built index under a dataset name."""
+        if index.disk is not self.disk:
+            raise ValueError("index must live on this workspace's disk")
+        key = (name, _algorithm_signature(TransformersJoin()))
+        self._cache[key] = _CachedIndex(
+            dataset=None,
+            handle=index,
+            build_stats=JoinStats(algorithm="TRANSFORMERS", phase="index"),
+            pages_written=0,
+        )
+
+    @property
+    def page_size(self) -> int:
+        """Page size of the underlying simulated disk."""
+        return self.disk.model.page_size
+
+    @property
+    def cached_index_count(self) -> int:
+        """Number of indexes currently held by the cache."""
+        return len(self._cache)
+
+    def drop_indexes(self) -> None:
+        """Forget every cached index (pages stay allocated on disk)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        a: Dataset,
+        b: Dataset,
+        algorithm: str | SpatialJoinAlgorithm = "auto",
+        *,
+        space: Box | None = None,
+        parameters: dict[str, object] | None = None,
+        reuse_indexes: bool = True,
+    ) -> RunReport:
+        """Join two datasets and return a structured :class:`RunReport`.
+
+        ``algorithm`` is a registry name (see
+        :func:`~repro.engine.registry.available_algorithms`), ``"auto"``
+        to let the planner decide, or a pre-configured
+        :class:`SpatialJoinAlgorithm` instance.  ``space`` and
+        ``parameters`` are forwarded to the planner.
+
+        Raises ``ValueError`` if the two datasets share element ids:
+        the join result pairs ids up, so overlapping id spaces would
+        silently corrupt pair semantics.
+        """
+        self._validate_disjoint_ids(a, b)
+        plan: JoinPlan | None = None
+        if isinstance(algorithm, str):
+            plan = plan_join(
+                a, b, algorithm, space=space,
+                page_size=self.page_size, parameters=parameters,
+            )
+            algo = plan.create()
+            reusable = algorithm_spec(plan.algorithm).reusable_index
+        else:
+            if space is not None or parameters:
+                raise ValueError(
+                    "space/parameters are planner inputs and have no "
+                    "effect on a pre-configured instance; configure "
+                    "the instance directly or pass a registry name"
+                )
+            algo = algorithm
+            spec = spec_for_instance(algo)
+            reusable = spec.reusable_index if spec is not None else True
+
+        handle_a, build_a, reused_a, written_a = self._index(
+            algo, a, reuse=reuse_indexes and reusable
+        )
+        handle_b, build_b, reused_b, written_b = self._index(
+            algo, b, reuse=reuse_indexes and reusable
+        )
+        # Cold caches for the join phase, as in the paper's protocol.
+        self.disk.reset_stats()
+        result = algo.join(handle_a, handle_b)
+        return RunReport(
+            algorithm=algo.name,
+            dataset_a=a.name,
+            dataset_b=b.name,
+            n_a=len(a),
+            n_b=len(b),
+            result=result,
+            build_a=build_a,
+            build_b=build_b,
+            plan=plan,
+            reused_a=reused_a,
+            reused_b=reused_b,
+            index_pages_written_a=written_a,
+            index_pages_written_b=written_b,
+            cost_model=self.cost_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def build_index(
+        self,
+        dataset: Dataset,
+        algorithm: str | SpatialJoinAlgorithm = "transformers",
+    ) -> tuple[object, JoinStats]:
+        """Build (or fetch from cache) one dataset's index.
+
+        Returns ``(index_handle, build_stats)``; for algorithms whose
+        index is per-dataset the handle is cached for subsequent
+        :meth:`join` / :meth:`range_query` calls.  Pair-level indexes
+        (PBSM's shared grid) are never cached here: they only make
+        sense relative to a specific join partner.
+        """
+        algo, reusable = self._single_dataset_algorithm(dataset, algorithm)
+        handle, stats, _, _ = self._index(algo, dataset, reuse=reusable)
+        return handle, stats
+
+    def index_for(
+        self,
+        dataset: Dataset | str,
+        algorithm: str | SpatialJoinAlgorithm = "transformers",
+    ) -> object:
+        """The (cached or freshly built) index handle for a dataset.
+
+        Pass a dataset *name* to fetch an adopted/persisted index.
+        """
+        if isinstance(dataset, str):
+            return self._transformers_index(dataset)
+        return self.build_index(dataset, algorithm)[0]
+
+    def _single_dataset_algorithm(
+        self, dataset: Dataset, algorithm: str | SpatialJoinAlgorithm
+    ) -> tuple[SpatialJoinAlgorithm, bool]:
+        """Resolve (algorithm, cacheable) for a one-dataset operation."""
+        if isinstance(algorithm, str):
+            plan = plan_join(
+                dataset, dataset, algorithm if algorithm != "auto"
+                else "transformers",
+                space=dataset.boxes.mbb(), page_size=self.page_size,
+            )
+            return plan.create(), algorithm_spec(plan.algorithm).reusable_index
+        spec = spec_for_instance(algorithm)
+        return algorithm, spec.reusable_index if spec is not None else True
+
+    def _index(
+        self, algo: SpatialJoinAlgorithm, dataset: Dataset, reuse: bool
+    ) -> tuple[object, JoinStats, bool, int]:
+        """Build or reuse one index; returns (handle, stats, reused, writes)."""
+        key = (id(dataset), _algorithm_signature(algo))
+        if reuse:
+            entry = self._cache.get(key)
+            if entry is not None:
+                return entry.handle, entry.build_stats, True, 0
+        before = self.disk.stats.pages_written
+        handle, stats = algo.build_index(self.disk, dataset)
+        written = self.disk.stats.pages_written - before
+        if reuse:
+            self._cache[key] = _CachedIndex(dataset, handle, stats, written)
+        return handle, stats, False, written
+
+    # ------------------------------------------------------------------
+    # Range queries (index reuse beyond joins, Section VII-C1)
+    # ------------------------------------------------------------------
+    def range_query(
+        self,
+        dataset: Dataset | str,
+        query: Box,
+        *,
+        buffer_pages: int = 256,
+        stats: JoinStats | None = None,
+    ) -> np.ndarray:
+        """Ids of the dataset's elements whose MBB intersects ``query``.
+
+        Served from the dataset's cached TRANSFORMERS index (any
+        configuration), building one if none exists yet — the same
+        index a join would use, which is the reuse argument.  Pass the
+        dataset *name* (a string) to query an adopted/persisted index.
+        The query phase starts with cold caches; page I/O is observable
+        on ``workspace.disk.stats``.
+        """
+        index = self._transformers_index(dataset)
+        self.disk.reset_stats()
+        pool = BufferPool(self.disk, buffer_pages)
+        return _transformers_range_query(index, query, pool, stats)
+
+    def _transformers_index(
+        self, dataset: Dataset | str
+    ) -> TransformersIndex:
+        """A TRANSFORMERS index for the dataset, cached or fresh."""
+        if isinstance(dataset, str):
+            for (key, _sig), entry in self._cache.items():
+                if key == dataset and isinstance(
+                    entry.handle, TransformersIndex
+                ):
+                    return entry.handle
+            raise KeyError(
+                f"no adopted index named {dataset!r}; adopt one with "
+                "adopt_index() or pass the Dataset itself"
+            )
+        for (key, _sig), entry in self._cache.items():
+            if key == id(dataset) and isinstance(
+                entry.handle, TransformersIndex
+            ):
+                return entry.handle
+        handle, _ = self.build_index(dataset, "transformers")
+        return handle  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_disjoint_ids(a: Dataset, b: Dataset) -> None:
+        """Reject joins whose inputs share element ids."""
+        overlap = np.intersect1d(a.ids, b.ids)
+        if overlap.size:
+            sample = ", ".join(str(int(v)) for v in overlap[:5])
+            raise ValueError(
+                f"datasets {a.name!r} and {b.name!r} share "
+                f"{overlap.size} element id(s) (e.g. {sample}); join "
+                "inputs must use disjoint id spaces — regenerate one "
+                "side with an id_offset"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpatialWorkspace(pages={self.disk.num_pages}, "
+            f"cached_indexes={len(self._cache)})"
+        )

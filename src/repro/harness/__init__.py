@@ -1,5 +1,9 @@
 """Experiment harness.
 
+All measurement flows through the engine's
+:class:`~repro.engine.workspace.SpatialWorkspace` (one fresh workspace
+per run, cold caches between phases):
+
 :mod:`~repro.harness.runner` runs one algorithm over one dataset pair
 with cold caches and collects comparable statistics;
 :mod:`~repro.harness.experiments` defines one entry point per table and

@@ -27,36 +27,54 @@ from repro.datagen import (
     uniform_cluster,
     uniform_dataset,
 )
+from repro.engine import RunReport, SpatialWorkspace
+from repro.geometry.box import Box
 from repro.harness.report import format_table
-from repro.harness.runner import (
-    RunRecord,
-    pbsm_resolution,
-    run_pair,
-    scale_counts,
-)
-from repro.joins import GipsyJoin, PBSMJoin, SynchronizedRTreeJoin
-from repro.joins.base import Dataset
+from repro.harness.runner import scale_counts
+from repro.joins.base import Dataset, SpatialJoinAlgorithm
 
 
 def _standard_algorithms(
-    space, n_total: int, with_gipsy: bool = False, with_rtree: bool = True
-) -> list:
-    """The paper's comparison set, configured like Section VII-A."""
-    algos: list = [
-        TransformersJoin(),
-        PBSMJoin(space=space, resolution=pbsm_resolution(n_total)),
-    ]
+    with_gipsy: bool = False, with_rtree: bool = True
+) -> list[str]:
+    """The paper's comparison set (Section VII-A), as registry names.
+
+    The engine's planner resolves each name's parameters (PBSM grid
+    resolution, shared space) per dataset pair — the hand-wiring this
+    function used to do.
+    """
+    names = ["transformers", "pbsm"]
     if with_rtree:
-        algos.append(SynchronizedRTreeJoin())
+        names.append("rtree")
     if with_gipsy:
-        algos.append(GipsyJoin())
-    return algos
+        names.append("gipsy")
+    return names
+
+
+def _run_one(
+    algorithm: str | SpatialJoinAlgorithm,
+    a: Dataset,
+    b: Dataset,
+    space: Box | None = None,
+) -> RunReport:
+    """One cold run on a fresh workspace (the paper's protocol).
+
+    ``space`` is a planner input, so it only applies to registry
+    names; pre-configured instances already carry their parameters.
+    """
+    workspace = SpatialWorkspace()
+    if isinstance(algorithm, str):
+        return workspace.join(a, b, algorithm=algorithm, space=space)
+    return workspace.join(a, b, algorithm=algorithm)
 
 
 def _run_all(
-    algos: Sequence, a: Dataset, b: Dataset
-) -> list[RunRecord]:
-    return [run_pair(algo, a, b) for algo in algos]
+    algorithms: Sequence[str | SpatialJoinAlgorithm],
+    a: Dataset,
+    b: Dataset,
+    space: Box | None = None,
+) -> list[RunReport]:
+    return [_run_one(algo, a, b, space) for algo in algorithms]
 
 
 # ----------------------------------------------------------------------
@@ -74,9 +92,8 @@ def fig10(scale: float = 1.0) -> list[dict]:
     rows: list[dict] = []
     for a, b, ratio in density_ladder(smallest, largest, steps=9):
         space = a.boxes.mbb().union(b.boxes.mbb())
-        n_total = len(a) + len(b)
         for rec in _run_all(
-            _standard_algorithms(space, n_total, with_gipsy=True), a, b
+            _standard_algorithms(with_gipsy=True), a, b, space
         ):
             row = rec.row()
             row["density_ratio"] = round(ratio, 4)
@@ -105,7 +122,7 @@ def fig11(scale: float = 1.0) -> list[dict]:
             total - half, seed=22, name="unifclust",
             id_offset=10**9, space=space,
         )
-        for rec in _run_all(_standard_algorithms(space, total), a, b):
+        for rec in _run_all(_standard_algorithms(), a, b, space):
             rows.append(rec.row())
     return rows
 
@@ -128,7 +145,7 @@ def table1(scale: float = 1.0) -> list[dict]:
         b = uniform_dataset(
             n, seed=32, name="uniformB", id_offset=10**9, space=space
         )
-        for rec in _run_all(_standard_algorithms(space, 2 * n), a, b):
+        for rec in _run_all(_standard_algorithms(), a, b, space):
             rows.append(rec.row())
     return rows
 
@@ -147,7 +164,7 @@ def fig12(scale: float = 1.0) -> list[dict]:
     for total in totals:
         space = scaled_space(total)
         axons, dendrites = neuro_datasets(total, seed=41, space=space)
-        for rec in _run_all(_standard_algorithms(space, total), axons, dendrites):
+        for rec in _run_all(_standard_algorithms(), axons, dendrites, space):
             rows.append(rec.row())
     return rows
 
@@ -177,7 +194,7 @@ def fig13_impact(scale: float = 1.0) -> list[dict]:
             (TransformersJoin(), "TRANSFORMERS"),
             (TransformersJoin(TransformersConfig.no_transformations()), "No TR"),
         ):
-            rec = run_pair(algo, a, b)
+            rec = _run_one(algo, a, b, space)
             row = rec.row()
             row["algorithm"] = label
             rows.append(row)
@@ -227,7 +244,7 @@ def fig13_threshold(scale: float = 1.0) -> list[dict]:
     rows: list[dict] = []
     for wname, (a, b) in workloads.items():
         for cname, config in configs.items():
-            rec = run_pair(TransformersJoin(config), a, b)
+            rec = _run_one(TransformersJoin(config), a, b, space)
             row = rec.row()
             row["workload"] = wname
             row["config"] = cname
@@ -253,7 +270,7 @@ def fig14(scale: float = 1.0) -> list[dict]:
             total - half, seed=72, name="unifB",
             id_offset=10**9, space=space,
         )
-        rec = run_pair(TransformersJoin(), a, b)
+        rec = _run_one(TransformersJoin(), a, b, space)
         extras = rec.join_stats.extras
         overhead = extras.get("exploration_cost", 0.0)
         join_cost = extras.get("join_cost", 0.0)

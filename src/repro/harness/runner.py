@@ -11,47 +11,33 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+# Storage defaults and the PBSM heuristic moved to the engine's planner
+# (PR 1); re-exported here because benchmarks and downstream code import
+# them from this module.
+from repro.engine.planner import (  # noqa: F401  (re-exports)
+    EXPERIMENT_PAGE_SIZE,
+    experiment_disk_model,
+    pbsm_resolution,
+)
+from repro.engine.workspace import SpatialWorkspace
 from repro.joins.base import (
     CostModel,
     Dataset,
-    JoinResult,
     JoinStats,
     SpatialJoinAlgorithm,
 )
-from repro.storage.disk import DiskModel, SimulatedDisk
-
-#: Default page size for scaled-down experiments.  The paper uses 8 KB
-#: pages on datasets of 10⁸ elements; scaling both the datasets (to
-#: ~10⁴) and the page (to 1 KB ≈ 18 elements) keeps the page count and
-#: hierarchy depth in a realistic regime.  See DESIGN.md §2.
-EXPERIMENT_PAGE_SIZE = 1024
-
-
-def experiment_disk_model(page_size: int = EXPERIMENT_PAGE_SIZE) -> DiskModel:
-    """The disk model used by all experiments (one shared definition)."""
-    return DiskModel(page_size=page_size)
-
-
-def pbsm_resolution(n_total: int, page_size: int = EXPERIMENT_PAGE_SIZE) -> int:
-    """PBSM grid resolution heuristic standing in for the paper's sweep.
-
-    The paper picks the number of partitions per dataset pair with a
-    parameter sweep (10³ cells for 10⁸-element synthetic data, 20³ for
-    neuroscience).  The balance it strikes — enough elements per cell
-    to fill pages, few enough to keep the in-memory join cheap — scales
-    as the cube root of elements per cell; we target about four data
-    pages per cell and clamp to a sane range.
-    """
-    from repro.storage.page import element_page_capacity
-
-    per_cell = 4 * element_page_capacity(page_size, 3)
-    cells = max(1, n_total // per_cell)
-    return max(2, min(30, round(cells ** (1.0 / 3.0))))
+from repro.storage.disk import DiskModel
 
 
 @dataclass
 class RunRecord:
-    """Everything measured for one (algorithm, dataset-pair) run."""
+    """Everything measured for one (algorithm, dataset-pair) run.
+
+    Legacy harness type kept for downstream callers;
+    :class:`~repro.engine.report.RunReport` is the canonical result
+    shape (same ``row()`` schema plus plan and reuse provenance), and
+    the two must stay key-compatible.
+    """
 
     algorithm: str
     dataset_a: str
@@ -119,32 +105,33 @@ class RunRecord:
 
 
 def run_pair(
-    algorithm: SpatialJoinAlgorithm,
+    algorithm: SpatialJoinAlgorithm | str,
     a: Dataset,
     b: Dataset,
     disk_model: DiskModel | None = None,
     cost_model: CostModel | None = None,
 ) -> RunRecord:
-    """Index both datasets and join them on a fresh simulated disk.
+    """Index both datasets and join them on a fresh workspace.
 
-    Disk statistics are reset between the two phases, so build and join
-    I/O cannot bleed into each other, and the join starts with the cold
-    caches the paper mandates.
+    One :class:`~repro.engine.workspace.SpatialWorkspace` per run keeps
+    the paper's protocol: nothing is shared between runs, and the
+    workspace resets disk statistics between the index and join phases
+    so the join starts with the cold caches the paper mandates.
+    ``algorithm`` may be a configured instance or a registry name.
     """
-    disk = SimulatedDisk(disk_model or experiment_disk_model())
-    index_a, build_a = algorithm.build_index(disk, a)
-    index_b, build_b = algorithm.build_index(disk, b)
-    disk.reset_stats()
-    result: JoinResult = algorithm.join(index_a, index_b)
+    workspace = SpatialWorkspace(
+        disk_model=disk_model, cost_model=cost_model
+    )
+    report = workspace.join(a, b, algorithm=algorithm)
     return RunRecord(
-        algorithm=algorithm.name,
+        algorithm=report.algorithm,
         dataset_a=a.name,
         dataset_b=b.name,
         n_a=len(a),
         n_b=len(b),
-        build_stats_a=build_a,
-        build_stats_b=build_b,
-        join_stats=result.stats,
+        build_stats_a=report.build_a,
+        build_stats_b=report.build_b,
+        join_stats=report.join_stats,
         cost_model=cost_model or CostModel(),
     )
 

@@ -196,13 +196,20 @@ class SpatialJoinAlgorithm(ABC):
     def join(self, index_a: object, index_b: object) -> JoinResult:
         """Join two datasets previously indexed by this algorithm."""
 
-    # Convenience used by the harness and examples.
+    # Back-compat convenience; new code should prefer the workspace.
     def run(
         self, disk: SimulatedDisk, a: Dataset, b: Dataset
     ) -> tuple[JoinResult, JoinStats, JoinStats]:
-        """Index both datasets and join them.
+        """Index both datasets and join them (legacy shim).
 
         Returns ``(join_result, build_stats_a, build_stats_b)``.
+
+        .. deprecated:: 1.1
+            Kept as a thin back-compat shim.  Prefer
+            ``repro.SpatialWorkspace().join(a, b, algorithm=...)``,
+            which returns a structured
+            :class:`~repro.engine.report.RunReport`, validates id
+            disjointness, and reuses cached indexes across joins.
         """
         index_a, build_a = self.build_index(disk, a)
         index_b, build_b = self.build_index(disk, b)

@@ -56,7 +56,13 @@ class TestGeometry:
         c = Cylinder(p0, p1, radius)
         mbb = c.mbb()
         # Point on the axis at parameter t, displaced along +x by r.
-        axis = tuple(a + (b - a) * t for a, b in zip(p0, p1))
+        # The lerp can land up to 1 ulp outside the segment (e.g. at
+        # t=1.0, a + (b-a)*1.0 != b in floating point), so clamp each
+        # coordinate back onto the endpoint interval before asserting.
+        axis = tuple(
+            min(max(a + (b - a) * t, min(a, b)), max(a, b))
+            for a, b in zip(p0, p1)
+        )
         surface = (axis[0] + radius, axis[1], axis[2])
         assert mbb.contains_point(axis)
         assert mbb.contains_point(surface)
