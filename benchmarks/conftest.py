@@ -8,9 +8,12 @@ phases, nothing shared between runs) — and then asserts the *shape*
 the paper reports (who wins, roughly by how much).  Absolute numbers
 are simulated-cost units, not hours — see DESIGN.md §2.
 
-Scale can be raised for closer-to-paper runs::
+Scale can be raised for closer-to-paper runs, and the per-experiment
+runs can be fanned across a process pool (each still cold on its own
+workspace, so the measured numbers are identical)::
 
-    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+    REPRO_BENCH_SCALE=1.0 REPRO_BENCH_WORKERS=4 pytest benchmarks/ \
+        --benchmark-only
 """
 
 import os
@@ -19,6 +22,10 @@ import pytest
 
 #: Default scale keeps the full benchmark suite in the minutes range.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+#: Worker processes for the experiments' batched runs (default serial).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+os.environ.setdefault("REPRO_EXPERIMENT_WORKERS", str(BENCH_WORKERS))
 
 
 def run_once(benchmark, fn, *args):
@@ -42,3 +49,9 @@ def by_algorithm(rows):
 @pytest.fixture
 def scale():
     return BENCH_SCALE
+
+
+@pytest.fixture
+def batch_workers():
+    """Pool size for batch-executor benchmarks (>= 2 to exercise it)."""
+    return max(2, min(4, os.cpu_count() or 1))

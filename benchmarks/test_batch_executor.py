@@ -1,0 +1,48 @@
+"""Batch executor — throughput of many joins on a process pool.
+
+Not a paper figure: this measures the repro's own execution substrate.
+A mixed-algorithm batch fanned across workers must return exactly the
+serial answers (the executor only changes *where* requests run, never
+what they compute), and on a multi-core machine it should finish in
+less wall-clock time than one-at-a-time execution.
+"""
+
+import os
+
+from repro.datagen import dense_cluster, scaled_space, uniform_dataset
+from repro.engine import BatchExecutor, JoinRequest
+
+from benchmarks.conftest import run_once
+
+
+def _requests(scale):
+    n = max(200, round(2_000 * scale))
+    space = scaled_space(2 * n)
+    a = uniform_dataset(n, seed=81, name="A", space=space)
+    b = dense_cluster(n, seed=82, name="B", id_offset=10**9, space=space)
+    return [
+        JoinRequest(a, b, algorithm=algo, label=f"{algo}-{i}")
+        for i in range(4)
+        for algo in ("transformers", "pbsm", "rtree", "auto")
+    ]
+
+
+def test_batch_matches_serial_and_speeds_up(benchmark, scale, batch_workers):
+    requests = _requests(scale)
+    serial = BatchExecutor(max_workers=1).run(requests)
+    serial.raise_failures()
+
+    batch = run_once(
+        benchmark, BatchExecutor(max_workers=batch_workers).run, requests
+    )
+    batch.raise_failures()
+
+    for s, p in zip(serial.reports, batch.reports):
+        assert s.pair_set() == p.pair_set()
+        assert s.algorithm == p.algorithm
+
+    print()
+    print("batch summary:", batch.summary())
+    # Wall-clock speedup needs real cores; assert only where they exist.
+    if (os.cpu_count() or 1) >= 4:
+        assert batch.speedup > 1.5

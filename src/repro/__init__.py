@@ -50,6 +50,10 @@ from repro.core import (
     range_query,
 )
 from repro.engine import (
+    BatchExecutor,
+    BatchReport,
+    DatasetSpec,
+    JoinRequest,
     RunReport,
     SpatialWorkspace,
     available_algorithms,
@@ -90,6 +94,10 @@ __all__ = [
     # engine (recommended entry point)
     "SpatialWorkspace",
     "RunReport",
+    "BatchExecutor",
+    "BatchReport",
+    "JoinRequest",
+    "DatasetSpec",
     "available_algorithms",
     "plan_join",
     "register_algorithm",

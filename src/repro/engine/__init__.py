@@ -10,6 +10,17 @@ queries::
     report = ws.join(a, c, algorithm="pbsm")   # explicit, no wiring
     hits = ws.range_query(a, box)              # reuses a's index
 
+Batches of joins run concurrently through the executor::
+
+    from repro.engine import BatchExecutor, JoinRequest
+
+    batch = ws.join_many([JoinRequest(a, b, "pbsm"),
+                          JoinRequest(a, c, "auto")], max_workers=4)
+    print(batch.summary()["speedup"])
+
+* :mod:`~repro.engine.executor` — :class:`BatchExecutor`,
+  :class:`JoinRequest`/:class:`DatasetSpec`, :class:`BatchReport`, and
+  the partition-parallel cell-sweep mode;
 * :mod:`~repro.engine.registry` — string-named algorithm factories
   (:func:`available_algorithms`, :func:`register_algorithm`);
 * :mod:`~repro.engine.planner` — ``"auto"`` resolution and parameter
@@ -20,6 +31,14 @@ queries::
   replacement for the legacy ``(result, build_a, build_b)`` tuple.
 """
 
+from repro.engine.executor import (
+    BatchExecutor,
+    BatchReport,
+    DatasetSpec,
+    JoinRequest,
+    RequestOutcome,
+    derive_seed,
+)
 from repro.engine.planner import (
     EXPERIMENT_PAGE_SIZE,
     JoinPlan,
@@ -41,6 +60,12 @@ from repro.engine.workspace import SpatialWorkspace
 __all__ = [
     "SpatialWorkspace",
     "RunReport",
+    "BatchExecutor",
+    "BatchReport",
+    "JoinRequest",
+    "DatasetSpec",
+    "RequestOutcome",
+    "derive_seed",
     "JoinPlan",
     "PlanHints",
     "plan_join",

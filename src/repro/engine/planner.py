@@ -111,7 +111,19 @@ class JoinPlan:
 
 
 def shared_space(a: Dataset, b: Dataset) -> Box:
-    """The extent the space-partitioning baselines must agree on."""
+    """The extent the space-partitioning baselines must agree on.
+
+    Empty inputs have no MBB, so their side is ignored; when both sides
+    are empty any extent works (there is nothing to partition) and a
+    unit box keeps the grid constructors happy.
+    """
+    if len(a) == 0 and len(b) == 0:
+        ndim = a.ndim
+        return Box((0.0,) * ndim, (1.0,) * ndim)
+    if len(a) == 0:
+        return b.boxes.mbb()
+    if len(b) == 0:
+        return a.boxes.mbb()
     return a.boxes.mbb().union(b.boxes.mbb())
 
 

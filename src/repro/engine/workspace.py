@@ -190,6 +190,12 @@ class SpatialWorkspace:
             spec = spec_for_instance(algo)
             reusable = spec.reusable_index if spec is not None else True
 
+        # An empty side makes the answer trivially empty; several
+        # algorithms (reasonably) refuse to index zero elements, so the
+        # degenerate case is normalised here at the engine boundary.
+        if len(a) == 0 or len(b) == 0:
+            return self._empty_report(algo, a, b, plan)
+
         handle_a, build_a, reused_a, written_a = self._index(
             algo, a, reuse=reuse_indexes and reusable
         )
@@ -214,6 +220,86 @@ class SpatialWorkspace:
             index_pages_written_a=written_a,
             index_pages_written_b=written_b,
             cost_model=self.cost_model,
+        )
+
+    def _empty_report(
+        self,
+        algo: SpatialJoinAlgorithm,
+        a: Dataset,
+        b: Dataset,
+        plan: JoinPlan | None,
+    ) -> RunReport:
+        """The (empty) result of joining against an empty dataset."""
+        from repro.joins.base import JoinResult
+
+        return RunReport(
+            algorithm=algo.name,
+            dataset_a=a.name,
+            dataset_b=b.name,
+            n_a=len(a),
+            n_b=len(b),
+            result=JoinResult(
+                pairs=np.empty((0, 2), dtype=np.int64),
+                stats=JoinStats(algorithm=algo.name, phase="join"),
+            ),
+            build_a=JoinStats(algorithm=algo.name, phase="index"),
+            build_b=JoinStats(algorithm=algo.name, phase="index"),
+            plan=plan,
+            cost_model=self.cost_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def join_many(
+        self,
+        requests,
+        *,
+        max_workers: int | None = None,
+        seed: int = 0,
+    ):
+        """Run many :class:`~repro.engine.executor.JoinRequest` objects.
+
+        Delegates to a :class:`~repro.engine.executor.BatchExecutor`
+        configured with this workspace's disk and cost models.  Each
+        request runs on its own fresh worker workspace (the paper's
+        nothing-shared protocol); this workspace's disk and index cache
+        are not touched.  Returns a
+        :class:`~repro.engine.executor.BatchReport`.
+        """
+        from repro.engine.executor import BatchExecutor
+
+        executor = BatchExecutor(
+            max_workers,
+            disk_model=self.disk.model,
+            cost_model=self.cost_model,
+            seed=seed,
+        )
+        return executor.run(requests)
+
+    def join_partitioned(
+        self,
+        a: Dataset,
+        b: Dataset,
+        algorithm: str | SpatialJoinAlgorithm = "pbsm",
+        *,
+        space: Box | None = None,
+        parameters: dict[str, object] | None = None,
+        max_workers: int | None = None,
+    ) -> RunReport:
+        """One join with its cell sweep fanned across worker processes.
+
+        See :meth:`~repro.engine.executor.BatchExecutor.run_partitioned`.
+        """
+        from repro.engine.executor import BatchExecutor
+
+        executor = BatchExecutor(
+            max_workers,
+            disk_model=self.disk.model,
+            cost_model=self.cost_model,
+        )
+        return executor.run_partitioned(
+            a, b, algorithm, space=space, parameters=parameters
         )
 
     # ------------------------------------------------------------------

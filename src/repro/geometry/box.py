@@ -15,8 +15,10 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Sequence
 
+from repro.geometry.slots import SlotPickleMixin
 
-class Box:
+
+class Box(SlotPickleMixin):
     """An immutable axis-aligned box ``[lo, hi]`` in d dimensions.
 
     ``lo`` and ``hi`` are per-axis inclusive bounds.  Degenerate boxes

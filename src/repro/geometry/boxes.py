@@ -21,9 +21,10 @@ from collections.abc import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.geometry.box import Box
+from repro.geometry.slots import SlotPickleMixin
 
 
-class BoxArray:
+class BoxArray(SlotPickleMixin):
     """An immutable array of ``n`` axis-aligned boxes in ``d`` dimensions.
 
     ``lo`` and ``hi`` are ``float64`` arrays of shape ``(n, d)`` with

@@ -14,9 +14,10 @@ import math
 from collections.abc import Sequence
 
 from repro.geometry.box import Box
+from repro.geometry.slots import SlotPickleMixin
 
 
-class Cylinder:
+class Cylinder(SlotPickleMixin):
     """A capped cylinder given by two endpoints and a radius.
 
     >>> c = Cylinder((0, 0, 0), (0, 0, 2), 0.5)

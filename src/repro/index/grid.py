@@ -19,9 +19,10 @@ import numpy as np
 
 from repro.geometry.box import Box
 from repro.geometry.boxes import BoxArray
+from repro.geometry.slots import SlotPickleMixin
 
 
-class UniformGrid:
+class UniformGrid(SlotPickleMixin):
     """A regular grid of ``resolution**d`` cells over ``space``.
 
     >>> g = UniformGrid(Box((0, 0), (10, 10)), resolution=5)

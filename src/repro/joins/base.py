@@ -17,7 +17,9 @@ paper's figures break down:
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -170,6 +172,11 @@ def canonical_pairs(pairs: np.ndarray) -> np.ndarray:
     return np.unique(pairs, axis=0)
 
 
+#: Process-wide flag so the :meth:`SpatialJoinAlgorithm.run` deprecation
+#: warning fires exactly once, however many call sites still use the shim.
+_RUN_DEPRECATION_EMITTED = False
+
+
 class SpatialJoinAlgorithm(ABC):
     """Base class for disk-based spatial join algorithms.
 
@@ -181,6 +188,11 @@ class SpatialJoinAlgorithm(ABC):
 
     #: Short name used in reports ("PBSM", "R-TREE", ...).
     name: str = "abstract"
+
+    #: Whether :meth:`partition_tasks` / :meth:`join_partition` are
+    #: implemented, i.e. the join phase can be split into independent
+    #: slices and fanned across worker processes.
+    supports_partitioned_join: bool = False
 
     @abstractmethod
     def build_index(self, disk: SimulatedDisk, dataset: Dataset) -> tuple[object, JoinStats]:
@@ -195,6 +207,72 @@ class SpatialJoinAlgorithm(ABC):
     @abstractmethod
     def join(self, index_a: object, index_b: object) -> JoinResult:
         """Join two datasets previously indexed by this algorithm."""
+
+    # ------------------------------------------------------------------
+    # Partition-parallel protocol (optional)
+    # ------------------------------------------------------------------
+    def partition_tasks(
+        self, index_a: object, index_b: object, num_tasks: int
+    ) -> list[object]:
+        """Split the join into up to ``num_tasks`` independent slices.
+
+        Each returned task is an opaque payload accepted by
+        :meth:`join_partition`; running every task (in any order, in any
+        process) and merging the partial results with
+        :meth:`merge_partition_results` must reproduce :meth:`join`'s
+        answer exactly.  Only meaningful when
+        :attr:`supports_partitioned_join` is true.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support partitioned joins"
+        )
+
+    def join_partition(
+        self, index_a: object, index_b: object, task: object
+    ) -> JoinResult:
+        """Join one slice produced by :meth:`partition_tasks`."""
+        raise NotImplementedError(
+            f"{self.name} does not support partitioned joins"
+        )
+
+    def merge_partition_results(
+        self, results: Sequence[JoinResult]
+    ) -> JoinResult:
+        """Combine partial results into one canonical :class:`JoinResult`.
+
+        Work counters are summed (the total work really performed);
+        ``wall_seconds`` takes the slowest slice, because slices run
+        concurrently.  Extras are summed except replication factors,
+        which are per-index properties identical across slices.
+        """
+        stats = JoinStats(algorithm=self.name, phase="join")
+        parts: list[np.ndarray] = []
+        wall = 0.0
+        for result in results:
+            s = result.stats
+            stats.intersection_tests += s.intersection_tests
+            stats.metadata_comparisons += s.metadata_comparisons
+            stats.pages_read += s.pages_read
+            stats.seq_reads += s.seq_reads
+            stats.random_reads += s.random_reads
+            stats.pages_written += s.pages_written
+            stats.io_cost += s.io_cost
+            wall = max(wall, s.wall_seconds)
+            for key, value in s.extras.items():
+                if key.startswith("replication_factor"):
+                    stats.extras[key] = value
+                else:
+                    stats.extras[key] = stats.extras.get(key, 0.0) + value
+            if result.pairs.size:
+                parts.append(result.pairs)
+        pairs = (
+            canonical_pairs(np.concatenate(parts))
+            if parts
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        stats.pairs_found = len(pairs)
+        stats.wall_seconds = wall
+        return JoinResult(pairs=pairs, stats=stats)
 
     # Back-compat convenience; new code should prefer the workspace.
     def run(
@@ -211,6 +289,16 @@ class SpatialJoinAlgorithm(ABC):
             :class:`~repro.engine.report.RunReport`, validates id
             disjointness, and reuses cached indexes across joins.
         """
+        global _RUN_DEPRECATION_EMITTED
+        if not _RUN_DEPRECATION_EMITTED:
+            _RUN_DEPRECATION_EMITTED = True
+            warnings.warn(
+                "SpatialJoinAlgorithm.run() is deprecated since 1.1; "
+                "use repro.SpatialWorkspace().join(a, b, algorithm=...) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         index_a, build_a = self.build_index(disk, a)
         index_b, build_b = self.build_index(disk, b)
         return self.join(index_a, index_b), build_a, build_b

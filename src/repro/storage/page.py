@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.boxes import BoxArray
+from repro.geometry.slots import SlotPickleMixin
 from repro.storage.records import RecordCodec
 
 
@@ -26,7 +27,7 @@ def element_page_capacity(page_size: int, ndim: int) -> int:
     return RecordCodec(ndim).capacity(page_size)
 
 
-class ElementPage:
+class ElementPage(SlotPickleMixin):
     """The payload of one data page: ids plus their MBBs.
 
     Instances are immutable; building one validates the id/box length

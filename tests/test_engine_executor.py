@@ -1,0 +1,336 @@
+"""Tests for the parallel batch executor.
+
+Covers the executor's contract: a pooled batch returns exactly the
+serial answers request-for-request, per-request seed derivation makes
+batches reproducible, one request's failure never takes down the batch,
+and the partition-parallel PBSM mode reproduces the serial cell sweep.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datagen import dense_cluster, scaled_space, uniform_dataset
+from repro.engine import (
+    BatchExecutor,
+    DatasetSpec,
+    JoinRequest,
+    SpatialWorkspace,
+    derive_seed,
+)
+from repro.joins.base import Dataset, JoinStats, SpatialJoinAlgorithm
+from repro.joins.pbsm import PBSMJoin
+
+from tests.conftest import dataset_pair, oracle_pairs
+
+
+class ExplodingJoin(SpatialJoinAlgorithm):
+    """An algorithm whose join phase always dies (module level: must
+    pickle into worker processes)."""
+
+    name = "EXPLODE"
+
+    def build_index(self, disk, dataset):
+        return dataset, JoinStats(algorithm=self.name, phase="index")
+
+    def join(self, index_a, index_b):
+        raise RuntimeError("synthetic worker crash")
+
+
+class HardCrashJoin(SpatialJoinAlgorithm):
+    """An algorithm that kills its worker process outright — the crash
+    no worker-side try/except can catch."""
+
+    name = "HARD-CRASH"
+
+    def build_index(self, disk, dataset):
+        return dataset, JoinStats(algorithm=self.name, phase="index")
+
+    def join(self, index_a, index_b):
+        os._exit(17)
+
+
+def _mixed_requests(n_requests: int = 8) -> list[JoinRequest]:
+    a, b = dataset_pair("clustered", 220, 220, seed=3)
+    algorithms = ["transformers", "pbsm", "rtree", "auto"]
+    requests = [
+        JoinRequest(a, b, algorithm=algorithms[i % len(algorithms)],
+                    label=f"req{i}")
+        for i in range(n_requests - 2)
+    ]
+    requests.append(
+        JoinRequest(DatasetSpec("uniform", 150),
+                    DatasetSpec("dense_cluster", 150), "auto",
+                    label="spec-pair")
+    )
+    requests.append(
+        JoinRequest(DatasetSpec("uniform", 100, seed=9),
+                    DatasetSpec("uniform", 100, seed=10, id_offset=10**9),
+                    "pbsm", label="seeded-specs")
+    )
+    return requests
+
+
+class TestBatchVsSerial:
+    def test_pooled_batch_equals_serial_request_for_request(self):
+        requests = _mixed_requests()
+        serial = BatchExecutor(max_workers=1, seed=5).run(requests)
+        pooled = BatchExecutor(max_workers=2, seed=5).run(requests)
+        serial.raise_failures()
+        pooled.raise_failures()
+        assert [o.index for o in pooled.outcomes] == list(range(len(requests)))
+        for s, p in zip(serial.reports, pooled.reports):
+            assert s.algorithm == p.algorithm
+            assert s.pair_set() == p.pair_set()
+        assert any(r.pairs_found > 0 for r in serial.reports)
+
+    def test_acceptance_batch_16_requests_4_workers(self):
+        """16 mixed requests, 4 workers: identical to serial; speedup on
+        machines that actually have the cores."""
+        # Larger per-request work than the other tests so compute
+        # dominates pool fork/pickle overhead in the speedup figure.
+        a, b = dataset_pair("clustered", 500, 500, seed=11)
+        algorithms = ["transformers", "pbsm", "rtree", "auto"]
+        requests = [
+            JoinRequest(a, b, algorithm=algorithms[i % 4], label=f"acc{i}")
+            for i in range(16)
+        ]
+        serial = BatchExecutor(max_workers=1).run(requests)
+        batch = BatchExecutor(max_workers=4).run(requests)
+        serial.raise_failures()
+        batch.raise_failures()
+        for s, p in zip(serial.reports, batch.reports):
+            assert s.pair_set() == p.pair_set()
+        assert batch.summary()["requests"] == 16
+        if (os.cpu_count() or 1) >= 4:
+            assert batch.speedup > 1.5
+
+    def test_batch_report_aggregates(self):
+        requests = _mixed_requests(6)
+        batch = BatchExecutor(max_workers=1).run(requests)
+        batch.raise_failures()
+        assert batch.total_pairs == sum(r.pairs_found for r in batch.reports)
+        assert batch.total_io_cost >= 0.0
+        assert batch.total_cost > 0.0
+        per_algo = batch.by_algorithm()
+        assert sum(int(v["runs"]) for v in per_algo.values()) == 6
+        assert set(per_algo) >= {"TRANSFORMERS", "PBSM"}
+        summary = batch.summary()
+        assert summary["failed"] == 0
+        assert summary["speedup"] > 0
+
+
+class TestSeeds:
+    def test_same_batch_seed_reproduces_results(self):
+        requests = [
+            JoinRequest(DatasetSpec("uniform", 180),
+                        DatasetSpec("dense_cluster", 180), "transformers")
+            for _ in range(3)
+        ]
+        first = BatchExecutor(max_workers=1, seed=42).run(requests)
+        second = BatchExecutor(max_workers=1, seed=42).run(requests)
+        first.raise_failures()
+        second.raise_failures()
+        for x, y in zip(first.reports, second.reports):
+            assert x.pair_set() == y.pair_set()
+
+    def test_different_batch_seed_changes_results(self):
+        requests = [
+            JoinRequest(DatasetSpec("uniform", 180),
+                        DatasetSpec("uniform", 180), "transformers")
+        ]
+        one = BatchExecutor(max_workers=1, seed=1).run(requests)
+        two = BatchExecutor(max_workers=1, seed=2).run(requests)
+        assert one.reports[0].pair_set() != two.reports[0].pair_set()
+
+    def test_requests_in_one_batch_get_distinct_seeds(self):
+        requests = [
+            JoinRequest(DatasetSpec("uniform", 150),
+                        DatasetSpec("uniform", 150), "brute")
+            for _ in range(3)
+        ]
+        batch = BatchExecutor(max_workers=1, seed=0).run(requests)
+        batch.raise_failures()
+        seeds = [o.seed_a for o in batch.outcomes] + [
+            o.seed_b for o in batch.outcomes
+        ]
+        assert len(set(seeds)) == len(seeds)
+        # Identical specs, distinct derived seeds => distinct datasets.
+        assert (
+            batch.reports[0].pair_set() != batch.reports[1].pair_set()
+            or batch.reports[1].pair_set() != batch.reports[2].pair_set()
+        )
+
+    def test_mixed_dataset_and_spec_get_disjoint_ids(self):
+        """A concrete Dataset (ids from 0) paired with a default spec
+        (also ids from 0) must not trip the disjoint-id validation."""
+        space = scaled_space(300)
+        concrete = uniform_dataset(150, seed=13, name="A", space=space)
+        for pair in (
+            (concrete, DatasetSpec("uniform", 150)),
+            (DatasetSpec("uniform", 150), concrete),
+        ):
+            batch = BatchExecutor(max_workers=1).run(
+                [JoinRequest(pair[0], pair[1], "brute")]
+            )
+            batch.raise_failures()
+            assert batch.reports[0].pairs_found >= 0
+
+    def test_explicit_spec_seed_wins_over_derived(self):
+        spec = DatasetSpec("uniform", 120, seed=77)
+        partner = DatasetSpec("uniform", 120, seed=78, id_offset=10**9)
+        batches = [
+            BatchExecutor(max_workers=1, seed=s).run(
+                [JoinRequest(spec, partner, "brute")]
+            )
+            for s in (0, 999)
+        ]
+        assert (
+            batches[0].reports[0].pair_set()
+            == batches[1].reports[0].pair_set()
+        )
+
+    def test_negative_batch_seed_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BatchExecutor(max_workers=1, seed=-1)
+
+    def test_derive_seed_is_stable_and_spread(self):
+        assert derive_seed(1, 2) == derive_seed(1, 2)
+        seeds = {derive_seed(0, i, side) for i in range(50) for side in (0, 1)}
+        assert len(seeds) == 100
+
+
+class TestFailureIsolation:
+    def test_crash_fails_only_that_request(self):
+        a, b = dataset_pair("uniform", 150, 150, seed=1)
+        requests = [
+            JoinRequest(a, b, "transformers", label="ok-0"),
+            JoinRequest(a, b, ExplodingJoin(), label="boom"),
+            JoinRequest(a, b, "pbsm", label="ok-2"),
+        ]
+        batch = BatchExecutor(max_workers=2).run(requests)
+        assert not batch.ok
+        assert [o.ok for o in batch.outcomes] == [True, False, True]
+        failed = batch.outcomes[1]
+        assert failed.error_type == "RuntimeError"
+        assert "synthetic worker crash" in failed.error
+        assert batch.outcomes[0].report.pair_set() == oracle_pairs(a, b)
+        with pytest.raises(RuntimeError, match="boom"):
+            batch.raise_failures()
+
+    def test_hard_worker_death_fails_only_that_request(self):
+        """A crash that kills the worker process (not an exception)
+        breaks the shared pool; healthy requests must still complete."""
+        a, b = dataset_pair("uniform", 120, 120, seed=9)
+        requests = [
+            JoinRequest(a, b, "transformers", label="ok-0"),
+            JoinRequest(a, b, HardCrashJoin(), label="hard-crash"),
+            JoinRequest(a, b, "pbsm", label="ok-2"),
+            JoinRequest(a, b, "brute", label="ok-3"),
+        ]
+        batch = BatchExecutor(max_workers=2).run(requests)
+        assert [o.ok for o in batch.outcomes] == [True, False, True, True]
+        assert batch.outcomes[1].error_type == "BrokenProcessPool"
+        oracle = oracle_pairs(a, b)
+        for outcome in batch.outcomes:
+            if outcome.ok:
+                assert outcome.report.pair_set() == oracle
+
+    def test_single_request_hard_crash_is_isolated(self):
+        """With max_workers > 1 even a lone request runs in a worker,
+        so a hard crash cannot take down the calling process."""
+        a, b = dataset_pair("uniform", 60, 60, seed=12)
+        batch = BatchExecutor(max_workers=2).run(
+            [JoinRequest(a, b, HardCrashJoin(), label="lone-crash")]
+        )
+        assert not batch.ok
+        assert batch.outcomes[0].error_type == "BrokenProcessPool"
+
+    def test_instance_algorithm_with_space_fails_loudly(self):
+        """space/parameters are planner inputs; combining them with a
+        pre-configured instance is an error, not a silent no-op."""
+        a, b = dataset_pair("uniform", 80, 80, seed=10)
+        batch = BatchExecutor(max_workers=1).run(
+            [JoinRequest(a, b, PBSMJoin(resolution=4),
+                         space=a.boxes.mbb())]
+        )
+        assert not batch.ok
+        assert batch.outcomes[0].error_type == "ValueError"
+        assert "planner inputs" in batch.outcomes[0].error
+
+    def test_invalid_algorithm_name_is_isolated_too(self):
+        a, b = dataset_pair("uniform", 80, 80, seed=2)
+        batch = BatchExecutor(max_workers=1).run(
+            [JoinRequest(a, b, "no-such-join"), JoinRequest(a, b, "brute")]
+        )
+        assert [o.ok for o in batch.outcomes] == [False, True]
+        assert batch.outcomes[0].error_type == "ValueError"
+
+    def test_unknown_dataset_kind_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown dataset kind"):
+            DatasetSpec("no-such-kind", 10).realize(0, None)
+
+
+class TestPartitionedJoin:
+    def test_partitioned_pbsm_matches_serial(self):
+        a, b = dataset_pair("clustered", 400, 400, seed=4)
+        serial = SpatialWorkspace().join(a, b, algorithm="pbsm")
+        partitioned = SpatialWorkspace().join_partitioned(
+            a, b, "pbsm", max_workers=2
+        )
+        assert partitioned.pair_set() == serial.pair_set()
+        assert partitioned.pair_set() == oracle_pairs(a, b)
+        # Same logical work: the sweep is split, not re-done.
+        assert (
+            partitioned.join_stats.intersection_tests
+            == serial.join_stats.intersection_tests
+        )
+
+    def test_partition_tasks_cover_cells_disjointly(self):
+        a, b = dataset_pair("clustered", 300, 300, seed=5)
+        ws = SpatialWorkspace()
+        algo = PBSMJoin(space=a.boxes.mbb().union(b.boxes.mbb()),
+                        resolution=5)
+        ia, _ = algo.build_index(ws.disk, a)
+        ib, _ = algo.build_index(ws.disk, b)
+        common = set(ia.cell_pages) & set(ib.cell_pages)
+        tasks = algo.partition_tasks(ia, ib, 4)
+        assert 1 <= len(tasks) <= 4
+        seen: list[int] = []
+        for task in tasks:
+            seen.extend(task)
+        assert sorted(seen) == sorted(common)
+
+    def test_unsupported_algorithm_falls_back_to_serial_join(self):
+        a, b = dataset_pair("uniform", 120, 120, seed=6)
+        report = SpatialWorkspace().join_partitioned(
+            a, b, "rtree", max_workers=2
+        )
+        assert report.pair_set() == oracle_pairs(a, b)
+        # The fallback keeps the resolved plan for registry names.
+        assert report.plan is not None
+        assert report.plan.algorithm == "rtree"
+
+
+class TestWorkspaceIntegration:
+    def test_join_many_leaves_parent_workspace_untouched(self):
+        a, b = dataset_pair("uniform", 100, 100, seed=7)
+        ws = SpatialWorkspace()
+        batch = ws.join_many(
+            [JoinRequest(a, b, "transformers"), JoinRequest(a, b, "pbsm")],
+            max_workers=1,
+        )
+        batch.raise_failures()
+        assert len(batch.reports) == 2
+        assert ws.cached_index_count == 0
+        assert ws.disk.num_pages == 0
+
+    def test_empty_side_short_circuits(self):
+        from repro.geometry.boxes import BoxArray
+
+        a, _ = dataset_pair("uniform", 50, 50, seed=8)
+        empty = Dataset("E", np.empty(0, dtype=np.int64), BoxArray.empty(3))
+        report = SpatialWorkspace().join(a, empty, algorithm="rtree")
+        assert report.pairs_found == 0
+        assert report.pair_set() == set()

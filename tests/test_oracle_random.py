@@ -1,0 +1,174 @@
+"""Randomized oracle harness: every algorithm vs brute force, at scale.
+
+Seeded generation of ~30 dataset pairs spanning the paper's
+distribution families (uniform, clustered, skewed) plus degenerate
+shapes (empty, single box, all-overlapping, zero-extent points), each
+joined by *every* registered algorithm and compared against the
+brute-force oracle.  The algorithm list comes from the registry, so a
+newly registered join is covered automatically.
+
+All seeds derive from one fixed master seed: the suite is randomized
+in coverage but fully deterministic run to run (no reliance on test
+ordering or pytest-randomly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    dense_cluster,
+    massive_cluster,
+    scaled_space,
+    uniform_cluster,
+    uniform_dataset,
+)
+from repro.engine import SpatialWorkspace, available_algorithms
+from repro.geometry.boxes import BoxArray
+from repro.joins.base import Dataset
+from repro.joins.brute import brute_force_pairs
+
+#: Master seed for the whole harness (fixed: determinism is the point).
+MASTER_SEED = 20160516
+
+_GENERATORS = {
+    "uniform": uniform_dataset,
+    "dense": dense_cluster,
+    "uclust": uniform_cluster,
+    "massive": massive_cluster,
+}
+
+#: (family_a, family_b, n_a, n_b) — uniform, clustered and skewed mixes,
+#: including cardinality contrast in both directions.
+_DISTRIBUTION_CASES = [
+    ("uniform", "uniform", 120, 120),
+    ("uniform", "uniform", 30, 240),
+    ("uniform", "dense", 100, 100),
+    ("dense", "uniform", 100, 100),
+    ("dense", "dense", 90, 90),
+    ("dense", "uclust", 110, 110),
+    ("uclust", "uclust", 100, 100),
+    ("uclust", "massive", 80, 140),
+    ("massive", "uniform", 120, 60),
+    ("massive", "massive", 80, 80),
+    ("massive", "dense", 60, 180),
+    ("uniform", "uclust", 240, 30),
+    ("dense", "massive", 150, 50),
+    ("uniform", "massive", 40, 200),
+    ("uclust", "dense", 70, 170),
+    ("uniform", "dense", 200, 25),
+    ("dense", "uniform", 25, 200),
+    ("uclust", "uniform", 130, 90),
+    ("massive", "uclust", 90, 90),
+    ("uniform", "uniform", 64, 64),
+]
+
+
+def _distribution_pair(
+    kind_a: str, kind_b: str, n_a: int, n_b: int, seed: int
+) -> tuple[Dataset, Dataset]:
+    space = scaled_space(n_a + n_b)
+    a = _GENERATORS[kind_a](n_a, seed=seed * 2 + 1, name="A", space=space)
+    b = _GENERATORS[kind_b](
+        n_b, seed=seed * 2 + 2, name="B", id_offset=10**9, space=space
+    )
+    return a, b
+
+
+def _empty(name: str) -> Dataset:
+    return Dataset(name, np.empty(0, dtype=np.int64), BoxArray.empty(3))
+
+
+def _degenerate_cases(rng: np.random.Generator) -> list[tuple[str, Dataset, Dataset]]:
+    """Empty, single-box, all-overlapping and point-box shapes."""
+    space = scaled_space(200)
+    partner = uniform_dataset(
+        100, seed=int(rng.integers(2**31)), name="B", id_offset=10**9,
+        space=space,
+    )
+    center = np.asarray(space.center)
+
+    single = Dataset(
+        "single", np.array([7]),
+        BoxArray(center[None, :] - 2.0, center[None, :] + 2.0),
+    )
+    n_ov = 25
+    overlapping = Dataset(
+        "overlap",
+        np.arange(n_ov),
+        BoxArray(
+            np.tile(center[None, :] - 1.5, (n_ov, 1)),
+            np.tile(center[None, :] + 1.5, (n_ov, 1)),
+        ),
+    )
+    overlapping_b = Dataset(
+        "overlapB",
+        np.arange(10**9, 10**9 + n_ov),
+        BoxArray(
+            np.tile(center[None, :] - 1.0, (n_ov, 1)),
+            np.tile(center[None, :] + 1.0, (n_ov, 1)),
+        ),
+    )
+    pts = rng.uniform(space.lo, space.hi, size=(40, 3))
+    points = Dataset("points", np.arange(40), BoxArray(pts, pts))
+
+    return [
+        ("empty-vs-uniform", _empty("emptyA"), partner),
+        ("uniform-vs-empty", partner, _empty("emptyB")),
+        ("empty-vs-empty", _empty("emptyA"), _empty("emptyB")),
+        ("single-box", single, partner),
+        ("all-overlapping-vs-uniform", overlapping, partner),
+        ("all-overlapping-pair", overlapping, overlapping_b),
+        ("zero-extent-points", points, partner),
+    ]
+
+
+def _build_cases() -> list[tuple[str, Dataset, Dataset]]:
+    rng = np.random.default_rng(MASTER_SEED)
+    cases = []
+    for i, (ka, kb, na, nb) in enumerate(_DISTRIBUTION_CASES):
+        seed = int(rng.integers(2**31))
+        a, b = _distribution_pair(ka, kb, na, nb, seed)
+        cases.append((f"{i:02d}-{ka}{na}-vs-{kb}{nb}", a, b))
+    cases.extend(_degenerate_cases(rng))
+    return cases
+
+
+CASES = _build_cases()
+_ORACLE_CACHE: dict[str, set[tuple[int, int]]] = {}
+
+
+def _oracle(label: str, a: Dataset, b: Dataset) -> set[tuple[int, int]]:
+    if label not in _ORACLE_CACHE:
+        _ORACLE_CACHE[label] = {
+            (int(x), int(y)) for x, y in brute_force_pairs(a, b)
+        }
+    return _ORACLE_CACHE[label]
+
+
+def test_harness_shape():
+    """The harness really is ~30 pairs and not vacuous."""
+    assert len(CASES) >= 27
+    nonempty = sum(
+        1 for label, a, b in CASES if len(_oracle(label, a, b)) > 0
+    )
+    # The overwhelming majority of cases must exercise real result sets.
+    assert nonempty >= len(CASES) - 7
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+@pytest.mark.parametrize(
+    "case", CASES, ids=[label for label, _, _ in CASES]
+)
+def test_matches_brute_force_oracle(case, algorithm):
+    label, a, b = case
+    report = SpatialWorkspace().join(a, b, algorithm=algorithm)
+    assert report.pair_set() == _oracle(label, a, b), (
+        f"{algorithm} disagrees with the oracle on {label}"
+    )
+    assert report.pairs_found == len(_oracle(label, a, b))
+
+
+def test_all_overlapping_pair_is_complete_bipartite():
+    """Sanity: the all-overlapping case produces every possible pair."""
+    label, a, b = next(c for c in CASES if c[0] == "all-overlapping-pair")
+    assert len(_oracle(label, a, b)) == len(a) * len(b)
