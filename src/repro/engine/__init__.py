@@ -55,10 +55,11 @@ from repro.engine.registry import (
     register_algorithm,
 )
 from repro.engine.report import RunReport
-from repro.engine.workspace import SpatialWorkspace
+from repro.engine.workspace import EmptyIndex, SpatialWorkspace
 
 __all__ = [
     "SpatialWorkspace",
+    "EmptyIndex",
     "RunReport",
     "BatchExecutor",
     "BatchReport",

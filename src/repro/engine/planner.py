@@ -156,7 +156,18 @@ def plan_join(
     requested = algorithm.strip().lower()
     if requested == "auto":
         ratio = hints.cardinality_ratio
-        if ratio >= GIPSY_RATIO_THRESHOLD and (
+        if hints.n_a == 0 or hints.n_b == 0:
+            # An empty side makes the result trivially empty; without
+            # this short-circuit the ratio clamp (empty side counted as
+            # 1) would read e.g. 300 vs 0 as a 300x contrast and pick
+            # GIPSY for a join that never runs.
+            resolved = "transformers"
+            reason = (
+                "one or both inputs are empty: the join is trivially "
+                "empty, so the robust default is kept and no contrast "
+                "heuristic applies"
+            )
+        elif ratio >= GIPSY_RATIO_THRESHOLD and (
             algorithm_spec("gipsy").plannable
         ):
             resolved = "gipsy"

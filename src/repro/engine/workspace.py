@@ -14,6 +14,9 @@ again (with an algorithm whose index is per-dataset, which is all of
 them except PBSM) reuses the built index instead of rebuilding it, so
 the second join writes zero additional index pages for that side —
 the paper's index-reuse argument (Section VII-C1) made observable.
+The cache is bounded (``max_cached_indexes``, LRU eviction with an
+``index_evictions`` counter) so long-lived workspaces do not pin every
+dataset they ever joined in memory.
 
 Measurement protocol matches the paper (and ``harness.runner``): index
 builds are accounted per phase, then disk statistics are reset so the
@@ -21,6 +24,8 @@ join phase starts with cold caches.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -39,6 +44,30 @@ from repro.geometry.box import Box
 from repro.joins.base import CostModel, Dataset, JoinStats, SpatialJoinAlgorithm
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+class EmptyIndex:
+    """No-op index handle for a zero-element dataset.
+
+    Empty datasets have no MBB, so none of the real index builders can
+    run on them; every single-dataset operation on an empty input is a
+    trivial no-op (no pages written, no hits possible), and this handle
+    records that outcome.
+    """
+
+    __slots__ = ("dataset_name", "ndim")
+
+    def __init__(self, dataset_name: str, ndim: int) -> None:
+        self.dataset_name = dataset_name
+        self.ndim = ndim
+
+    @property
+    def num_elements(self) -> int:
+        """Always zero: the indexed dataset is empty."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EmptyIndex(dataset_name={self.dataset_name!r})"
 
 
 class _CachedIndex:
@@ -84,21 +113,39 @@ class SpatialWorkspace:
     disk:
         Adopt an existing simulated disk (used by :meth:`from_saved`);
         mutually exclusive with ``disk_model``.
+    max_cached_indexes:
+        Upper bound on cached index handles.  The cache is LRU: when a
+        new index would exceed the bound, the least recently used entry
+        is evicted (its pages stay allocated on the simulated disk, as
+        they would on a real one).  ``None`` disables the bound.
+        Without it, every joined dataset's index — and through the
+        cached :class:`_CachedIndex` the dataset itself — stays pinned
+        in memory for the workspace's lifetime.
     """
+
+    #: Default LRU capacity of the index cache.
+    DEFAULT_MAX_CACHED_INDEXES = 64
 
     def __init__(
         self,
         disk_model: DiskModel | None = None,
         cost_model: CostModel | None = None,
         disk: SimulatedDisk | None = None,
+        max_cached_indexes: int | None = DEFAULT_MAX_CACHED_INDEXES,
     ) -> None:
         if disk is not None and disk_model is not None:
             raise ValueError("pass either disk or disk_model, not both")
+        if max_cached_indexes is not None and max_cached_indexes < 1:
+            raise ValueError("max_cached_indexes must be >= 1 or None")
         self.disk = disk if disk is not None else SimulatedDisk(
             disk_model or experiment_disk_model()
         )
         self.cost_model = cost_model or CostModel()
-        self._cache: dict[tuple[object, str], _CachedIndex] = {}
+        self.max_cached_indexes = max_cached_indexes
+        self._cache: OrderedDict[tuple[object, str], _CachedIndex] = (
+            OrderedDict()
+        )
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -124,11 +171,14 @@ class SpatialWorkspace:
         if index.disk is not self.disk:
             raise ValueError("index must live on this workspace's disk")
         key = (name, _algorithm_signature(TransformersJoin()))
-        self._cache[key] = _CachedIndex(
-            dataset=None,
-            handle=index,
-            build_stats=JoinStats(algorithm="TRANSFORMERS", phase="index"),
-            pages_written=0,
+        self._cache_store(
+            key,
+            _CachedIndex(
+                dataset=None,
+                handle=index,
+                build_stats=JoinStats(algorithm="TRANSFORMERS", phase="index"),
+                pages_written=0,
+            ),
         )
 
     @property
@@ -141,9 +191,26 @@ class SpatialWorkspace:
         """Number of indexes currently held by the cache."""
         return len(self._cache)
 
+    @property
+    def index_evictions(self) -> int:
+        """Cache entries evicted by the LRU bound so far."""
+        return self._evictions
+
     def drop_indexes(self) -> None:
-        """Forget every cached index (pages stay allocated on disk)."""
+        """Forget every cached index (pages stay allocated on disk).
+
+        Explicit drops are not counted as evictions.
+        """
         self._cache.clear()
+
+    def _cache_store(self, key: tuple[object, str], entry: _CachedIndex) -> None:
+        """Insert a cache entry, evicting least-recently-used overflow."""
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        if self.max_cached_indexes is not None:
+            while len(self._cache) > self.max_cached_indexes:
+                self._cache.popitem(last=False)
+                self._evictions += 1
 
     # ------------------------------------------------------------------
     # Joins
@@ -317,8 +384,18 @@ class SpatialWorkspace:
         :meth:`join` / :meth:`range_query` calls.  Pair-level indexes
         (PBSM's shared grid) are never cached here: they only make
         sense relative to a specific join partner.
+
+        An empty dataset has no MBB and nothing to index: the result is
+        a no-op :class:`EmptyIndex` with zero-work build stats,
+        mirroring the empty-join short-circuit at the :meth:`join`
+        boundary.
         """
         algo, reusable = self._single_dataset_algorithm(dataset, algorithm)
+        if len(dataset) == 0:
+            return (
+                EmptyIndex(dataset.name, dataset.ndim),
+                JoinStats(algorithm=algo.name, phase="index"),
+            )
         handle, stats, _, _ = self._index(algo, dataset, reuse=reusable)
         return handle, stats
 
@@ -340,10 +417,13 @@ class SpatialWorkspace:
     ) -> tuple[SpatialJoinAlgorithm, bool]:
         """Resolve (algorithm, cacheable) for a one-dataset operation."""
         if isinstance(algorithm, str):
+            # `space` is left to the planner: `shared_space` reduces to
+            # the dataset's MBB here and, unlike `boxes.mbb()`,
+            # tolerates empty datasets.
             plan = plan_join(
                 dataset, dataset, algorithm if algorithm != "auto"
                 else "transformers",
-                space=dataset.boxes.mbb(), page_size=self.page_size,
+                page_size=self.page_size,
             )
             return plan.create(), algorithm_spec(plan.algorithm).reusable_index
         spec = spec_for_instance(algorithm)
@@ -357,12 +437,13 @@ class SpatialWorkspace:
         if reuse:
             entry = self._cache.get(key)
             if entry is not None:
+                self._cache.move_to_end(key)  # refresh LRU recency
                 return entry.handle, entry.build_stats, True, 0
         before = self.disk.stats.pages_written
         handle, stats = algo.build_index(self.disk, dataset)
         written = self.disk.stats.pages_written - before
         if reuse:
-            self._cache[key] = _CachedIndex(dataset, handle, stats, written)
+            self._cache_store(key, _CachedIndex(dataset, handle, stats, written))
         return handle, stats, False, written
 
     # ------------------------------------------------------------------
@@ -384,7 +465,17 @@ class SpatialWorkspace:
         dataset *name* (a string) to query an adopted/persisted index.
         The query phase starts with cold caches; page I/O is observable
         on ``workspace.disk.stats``.
+
+        Querying an empty dataset returns empty hits without building
+        anything (empty datasets have no MBB and no index).
         """
+        if isinstance(dataset, Dataset) and len(dataset) == 0:
+            if query.ndim != dataset.ndim:
+                # Same validation the indexed path performs; an empty
+                # dataset must not mask a caller's dimensionality bug.
+                raise ValueError("query dimensionality mismatch")
+            self.disk.reset_stats()
+            return np.empty(0, dtype=np.int64)
         index = self._transformers_index(dataset)
         self.disk.reset_stats()
         pool = BufferPool(self.disk, buffer_pages)
@@ -395,22 +486,35 @@ class SpatialWorkspace:
     ) -> TransformersIndex:
         """A TRANSFORMERS index for the dataset, cached or fresh."""
         if isinstance(dataset, str):
-            for (key, _sig), entry in self._cache.items():
-                if key == dataset and isinstance(
-                    entry.handle, TransformersIndex
-                ):
-                    return entry.handle
+            entry = self._cache_find(dataset, TransformersIndex)
+            if entry is not None:
+                return entry.handle
             raise KeyError(
                 f"no adopted index named {dataset!r}; adopt one with "
                 "adopt_index() or pass the Dataset itself"
             )
-        for (key, _sig), entry in self._cache.items():
-            if key == id(dataset) and isinstance(
-                entry.handle, TransformersIndex
-            ):
-                return entry.handle
+        entry = self._cache_find(id(dataset), TransformersIndex)
+        if entry is not None:
+            return entry.handle
         handle, _ = self.build_index(dataset, "transformers")
         return handle  # type: ignore[return-value]
+
+    def _cache_find(
+        self, dataset_key: object, handle_type: type
+    ) -> _CachedIndex | None:
+        """Cache entry for a dataset key, refreshing its LRU recency.
+
+        Without the refresh, repeated range queries would never touch
+        an index's recency and the LRU bound would evict the hottest
+        entry first.
+        """
+        for full_key, entry in self._cache.items():
+            if full_key[0] == dataset_key and isinstance(
+                entry.handle, handle_type
+            ):
+                self._cache.move_to_end(full_key)
+                return entry
+        return None
 
     # ------------------------------------------------------------------
     # Validation

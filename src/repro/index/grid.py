@@ -20,6 +20,7 @@ import numpy as np
 from repro.geometry.box import Box
 from repro.geometry.boxes import BoxArray
 from repro.geometry.slots import SlotPickleMixin
+from repro.vectorize import expand_counts
 
 
 class UniformGrid(SlotPickleMixin):
@@ -127,33 +128,68 @@ class UniformGrid(SlotPickleMixin):
     # ------------------------------------------------------------------
     # Bulk assignment
     # ------------------------------------------------------------------
+    def assign_entries(self, boxes: BoxArray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised multiple-assignment as flat parallel arrays.
+
+        Returns ``(cells, members)``: one row per (cell, box) assignment
+        with ``cells[k]`` the flat cell id and ``members[k]`` the box
+        index.  Rows are box-major — all of box 0's cells (row-major
+        over the overlapped cell block), then box 1's, matching a
+        streaming implementation's visit order.  The expansion is pure
+        NumPy: the per-box cell blocks are enumerated by decoding a
+        mixed-radix counter over the per-axis spans.
+        """
+        if boxes.ndim != self.ndim:
+            raise ValueError("dimensionality mismatch")
+        n = len(boxes)
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.intp),
+            )
+        res = self.resolution
+        lo_idx = np.floor((boxes.lo - self._lo) / self._cell_size).astype(np.int64)
+        hi_idx = np.floor((boxes.hi - self._lo) / self._cell_size).astype(np.int64)
+        np.clip(lo_idx, 0, res - 1, out=lo_idx)
+        np.clip(hi_idx, 0, res - 1, out=hi_idx)
+        spans = hi_idx - lo_idx + 1
+        counts = np.prod(spans, axis=1)
+        members, rem = expand_counts(counts, dtype=np.int64)
+        members = members.astype(np.intp, copy=False)
+        # Decode the within-box counter last-axis-fastest (row-major),
+        # folding each axis's coordinate straight into the flat id.
+        cells = np.zeros(len(members), dtype=np.int64)
+        weight = 1
+        for axis in range(self.ndim - 1, -1, -1):
+            radix = spans[members, axis]
+            coord = lo_idx[members, axis] + rem % radix
+            rem //= radix
+            cells += coord * weight
+            weight *= res
+        return cells, members
+
     def assign(self, boxes: BoxArray) -> dict[int, list[int]]:
         """Multiple-assignment of boxes to cells.
 
         Returns ``{flat cell id: [box indices]}``; a box appears in the
         bucket of *every* cell it overlaps, so downstream consumers must
         deduplicate join results (paper Section VIII-B lists exactly
-        this trade-off for the multiple-assignment strategy).
+        this trade-off for the multiple-assignment strategy).  Bucket
+        lists hold box indices in ascending order.
         """
-        if boxes.ndim != self.ndim:
-            raise ValueError("dimensionality mismatch")
-        buckets: dict[int, list[int]] = {}
-        res = self.resolution
-        lo_idx = np.floor((boxes.lo - self._lo) / self._cell_size).astype(np.int64)
-        hi_idx = np.floor((boxes.hi - self._lo) / self._cell_size).astype(np.int64)
-        np.clip(lo_idx, 0, res - 1, out=lo_idx)
-        np.clip(hi_idx, 0, res - 1, out=hi_idx)
-        for i in range(len(boxes)):
-            ranges = [
-                range(int(a), int(b) + 1)
-                for a, b in zip(lo_idx[i], hi_idx[i])
-            ]
-            for cell in itertools.product(*ranges):
-                flat = 0
-                for c in cell:
-                    flat = flat * res + c
-                buckets.setdefault(flat, []).append(i)
-        return buckets
+        cells, members = self.assign_entries(boxes)
+        if cells.size == 0:
+            return {}
+        order = np.argsort(cells, kind="stable")
+        cells = cells[order]
+        members = members[order]
+        boundaries = np.nonzero(np.diff(cells))[0] + 1
+        return {
+            int(group[0]): chunk.tolist()
+            for group, chunk in zip(
+                np.split(cells, boundaries), np.split(members, boundaries)
+            )
+        }
 
     def replication_factor(self, boxes: BoxArray) -> float:
         """Average number of cells each box is assigned to.
@@ -164,8 +200,7 @@ class UniformGrid(SlotPickleMixin):
         """
         if len(boxes) == 0:
             return 0.0
-        total = sum(len(v) for v in self.assign(boxes).values())
-        return total / len(boxes)
+        return len(self.assign_entries(boxes)[0]) / len(boxes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"UniformGrid(resolution={self.resolution}, ndim={self.ndim})"

@@ -140,11 +140,14 @@ def build_partitioned_index(
     # the gap-free tiling always link up.
     part_boxes = BoxArray(part_lo, part_hi)
     pair_idx, _ = grid_hash_join(part_boxes, part_boxes)
-    neighbor_lists: list[list[int]] = [[] for _ in range(len(tiles))]
-    for i, j in pair_idx:
-        if i != j:
-            neighbor_lists[int(i)].append(int(j))
-    neighbors = [np.asarray(sorted(ns), dtype=np.intp) for ns in neighbor_lists]
+    off_diagonal = pair_idx[pair_idx[:, 0] != pair_idx[:, 1]]
+    order = np.lexsort((off_diagonal[:, 1], off_diagonal[:, 0]))
+    src = off_diagonal[order, 0]
+    dst = off_diagonal[order, 1].astype(np.intp)
+    bounds = np.searchsorted(src, np.arange(len(tiles) + 1), side="left")
+    neighbors = [
+        dst[bounds[t] : bounds[t + 1]] for t in range(len(tiles))
+    ]
 
     # Descriptor metadata pages (packed in STR order).
     per_page = max(1, disk.model.page_size // DESCRIPTOR_SIZE)
@@ -292,6 +295,16 @@ def _distance(index: GipsyIndex, desc: int, q_lo: np.ndarray, q_hi: np.ndarray) 
     return float(np.sqrt(np.sum(gap * gap)))
 
 
+def _distances(
+    index: GipsyIndex, descs: np.ndarray, q_lo: np.ndarray, q_hi: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`_distance` over a block of descriptors."""
+    below = np.maximum(q_lo - index.part_hi[descs], 0.0)
+    above = np.maximum(index.part_lo[descs] - q_hi, 0.0)
+    gap = np.maximum(below, above)
+    return np.sqrt(np.sum(gap * gap, axis=1))
+
+
 def _touch_meta(index: GipsyIndex, desc: int, pool: BufferPool) -> None:
     """Charge the read of the metadata page holding descriptor ``desc``."""
     pool.read(int(index.meta_page_ids[index.meta_page_of[desc]]))
@@ -320,19 +333,21 @@ def _directed_walk(
     stats.metadata_comparisons += 1
     current_dist = _distance(index, current, q_lo, q_hi)
     while current_dist > 0.0:
-        best = -1
-        best_dist = current_dist
-        for nb in index.neighbors[current]:
-            stats.metadata_comparisons += 1
-            d = _distance(index, int(nb), q_lo, q_hi)
-            if d < best_dist:
-                best = int(nb)
-                best_dist = d
-        if best < 0:
+        # One vectorised distance block per step: every neighbour is
+        # compared (and charged) exactly as the scalar scan would, and
+        # argmin's first-minimum tie-break matches its progressive
+        # strict-improvement update.
+        nbs = index.neighbors[current]
+        stats.metadata_comparisons += len(nbs)
+        if len(nbs) == 0:
+            return None  # isolated partition: nowhere closer to go
+        dists = _distances(index, nbs, q_lo, q_hi)
+        best = int(np.argmin(dists))
+        if dists[best] >= current_dist:
             return None  # moving away: provably no intersection
-        _touch_meta(index, best, pool)
-        current = best
-        current_dist = best_dist
+        current = int(nbs[best])
+        current_dist = float(dists[best])
+        _touch_meta(index, current, pool)
     return current
 
 
@@ -354,7 +369,8 @@ def _crawl(
     element box.
     """
     candidates: list[int] = []
-    seen = {start}
+    seen = np.zeros(index.num_partitions, dtype=bool)
+    seen[start] = True
     queue = [start]
     while queue:
         desc = queue.pop()
@@ -364,14 +380,19 @@ def _crawl(
             index.page_hi[desc] >= e_lo
         ):
             candidates.append(desc)
-        for nb in index.neighbors[desc]:
-            nb = int(nb)
-            if nb in seen:
-                continue
-            stats.metadata_comparisons += 1
-            if np.all(index.part_lo[nb] <= g_hi) and np.all(
-                index.part_hi[nb] >= g_lo
-            ):
-                seen.add(nb)
-                queue.append(nb)
+        # Vectorised frontier expansion: the unseen neighbours are
+        # tested (and charged) in one block, in list order, exactly as
+        # the scalar scan would append them.
+        nbs = index.neighbors[desc]
+        unseen = nbs[~seen[nbs]]
+        stats.metadata_comparisons += len(unseen)
+        if len(unseen):
+            ok = np.all(
+                (index.part_lo[unseen] <= g_hi)
+                & (index.part_hi[unseen] >= g_lo),
+                axis=1,
+            )
+            grow_to = unseen[ok]
+            seen[grow_to] = True
+            queue.extend(int(nb) for nb in grow_to)
     return candidates

@@ -11,6 +11,17 @@ possible because a pair of boxes can co-occur in several cells — are
 suppressed with the classic *reference point* trick: a pair is reported
 only from the cell containing the low corner of the pair's
 intersection, so no result set materialisation is needed.
+
+The filter phase is fully vectorised: both sides are expanded into
+(cell, box) assignment arrays (:meth:`UniformGrid.assign_entries`), the
+build side is sorted by cell, and each probe assignment locates its
+candidate strip with ``np.searchsorted``; overlap and reference-point
+tests then run over the expanded candidate blocks.  The ``tests``
+counter is identical to the element-at-a-time formulation kept in
+:func:`grid_hash_join_reference` (the equivalence/benchmark baseline):
+every probe-cell visit charges the full bucket population, including
+the duplicated tests multiple assignment causes, because that is the
+work a real implementation does.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ import numpy as np
 
 from repro.geometry.boxes import BoxArray
 from repro.index.grid import UniformGrid
+from repro.vectorize import chunked_blocks, expand_counts
 
 
 def default_resolution(n: int, ndim: int) -> int:
@@ -58,6 +70,70 @@ def grid_hash_join(
     and ``tests`` counts the box-box intersection tests performed —
     including the duplicated tests the multiple-assignment strategy
     causes, because that is the work a real implementation does.
+    """
+    if len(build) == 0 or len(probe) == 0:
+        return np.empty((0, 2), dtype=np.intp), 0
+    if build.ndim != probe.ndim:
+        raise ValueError("dimensionality mismatch")
+    space = build.mbb().union(probe.mbb())
+    if resolution is None:
+        resolution = default_resolution(len(build), build.ndim)
+    grid = UniformGrid(space, resolution)
+
+    b_cells, b_members = grid.assign_entries(build)
+    order = np.argsort(b_cells, kind="stable")
+    b_cells = b_cells[order]
+    b_members = b_members[order]
+
+    p_cells, p_members = grid.assign_entries(probe)
+    start = np.searchsorted(b_cells, p_cells, side="left")
+    stop = np.searchsorted(b_cells, p_cells, side="right")
+    counts = stop - start
+    tests = int(counts.sum())
+
+    out: list[np.ndarray] = []
+    for block_lo, block_hi in chunked_blocks(counts):
+        entry, within = expand_counts(counts[block_lo:block_hi])
+        entry += block_lo
+        if entry.size:
+            slot = start[entry] + within
+            cand = b_members[slot]
+            pj = p_members[entry]
+            hit = np.all(
+                (build.lo[cand] <= probe.hi[pj])
+                & (build.hi[cand] >= probe.lo[pj]),
+                axis=1,
+            )
+            if hit.any():
+                cand = cand[hit]
+                pj = pj[hit]
+                # Reference-point deduplication: report only from the
+                # cell holding the low corner of the pairwise
+                # intersection.
+                ref = np.maximum(build.lo[cand], probe.lo[pj])
+                keep = grid.flat_ids(grid.cells_of_points(ref)) == (
+                    p_cells[entry[hit]]
+                )
+                if keep.any():
+                    out.append(
+                        np.column_stack((cand[keep], pj[keep]))
+                    )
+    if not out:
+        return np.empty((0, 2), dtype=np.intp), tests
+    return np.concatenate(out), tests
+
+
+def grid_hash_join_reference(
+    build: BoxArray,
+    probe: BoxArray,
+    resolution: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """Probe-at-a-time formulation of :func:`grid_hash_join`.
+
+    Kept as the correctness/counting baseline: the vectorized kernel
+    must report the same pair set and the exact same ``tests`` count
+    (see ``tests/test_vectorization_equivalence.py`` and the benchmark
+    trajectory's filter-phase measurement).
     """
     if len(build) == 0 or len(probe) == 0:
         return np.empty((0, 2), dtype=np.intp), 0

@@ -113,27 +113,37 @@ class PBSMJoin(SpatialJoinAlgorithm):
 
         # Streaming pass: per-cell buffers spilled page-by-page, which
         # interleaves page allocations across cells (scattered layout).
+        # The assignment expansion and the spill schedule are computed
+        # vectorised, then pages are allocated in the order a streaming
+        # pass over the box-major expansion (each element's cells in
+        # row-major order) would flush them: a full page of cell c
+        # flushes at the stream position where c's buffer fills;
+        # leftover partial buffers flush at the end, in the order the
+        # cells were first touched.  Page *contents* per cell are
+        # order-independent; only the interleaving follows the stream.
         cell_pages: dict[int, list[int]] = {}
-        buffers: dict[int, list[int]] = {}
-        replicas = 0
-        assignments = grid.assign(dataset.boxes)
-        # Re-play assignment in input order so the spill pattern matches
-        # a streaming implementation.
-        per_element_cells: dict[int, list[int]] = {}
-        for cell, members in assignments.items():
-            for m in members:
-                per_element_cells.setdefault(m, []).append(cell)
-        for i in range(len(dataset)):
-            for cell in per_element_cells.get(i, ()):
-                buf = buffers.setdefault(cell, [])
-                buf.append(i)
-                replicas += 1
-                if len(buf) >= capacity:
-                    self._flush(disk, dataset, cell, buf, cell_pages)
-                    buffers[cell] = []
-        for cell, buf in buffers.items():
-            if buf:
-                self._flush(disk, dataset, cell, buf, cell_pages)
+        cells, members = grid.assign_entries(dataset.boxes)
+        replicas = int(len(cells))
+        order = np.argsort(cells, kind="stable")  # stream order per cell
+        sorted_cells = cells[order]
+        sorted_members = members[order]
+        boundaries = np.nonzero(np.diff(sorted_cells))[0] + 1
+        group_starts = np.concatenate(([0], boundaries))
+        group_ends = np.concatenate((boundaries, [len(sorted_cells)]))
+        flushes: list[tuple[tuple[int, int], int, np.ndarray]] = []
+        for gs, ge in zip(group_starts, group_ends):
+            cell = int(sorted_cells[gs])
+            first_touch = int(order[gs])
+            for cs in range(int(gs), int(ge), capacity):
+                ce = min(cs + capacity, int(ge))
+                if ce - cs == capacity:
+                    key = (0, int(order[ce - 1]))  # buffer filled here
+                else:
+                    key = (1, first_touch)  # end-of-stream leftovers
+                flushes.append((key, cell, sorted_members[cs:ce]))
+        flushes.sort(key=lambda f: f[0])
+        for _, cell, chunk in flushes:
+            self._flush(disk, dataset, cell, chunk, cell_pages)
 
         index = PBSMIndex(
             disk=disk,
@@ -154,7 +164,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
         disk: SimulatedDisk,
         dataset: Dataset,
         cell: int,
-        members: list[int],
+        members: np.ndarray | list[int],
         cell_pages: dict[int, list[int]],
     ) -> None:
         idx = np.asarray(members, dtype=np.intp)

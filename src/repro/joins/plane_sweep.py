@@ -5,6 +5,16 @@ sets of two intersecting leaves (paper Section VII-A: "R-TREE uses the
 plane sweep").  Both inputs are sorted on the low x-coordinate; a
 forward sweep then only compares elements whose x-extents overlap,
 testing the remaining axes explicitly.
+
+The sweep is evaluated as NumPy batch operations: the set of candidates
+an element-at-a-time sweep would scan — for ``a[i]``, every ``b[k]``
+with ``a.lo[i] <= b.lo[k] <= a.hi[i]``, and symmetrically (strictly
+after) for the ``b``-driven side — is located with two
+``np.searchsorted`` strips over the sorted low coordinates, then the
+remaining axes are tested over the expanded candidate blocks.  The
+reported ``tests`` counter is exactly the number of full box-box tests
+the sequential sweep performs; :func:`plane_sweep_join_reference` keeps
+that sequential formulation as the equivalence/benchmark baseline.
 """
 
 from __future__ import annotations
@@ -12,6 +22,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.boxes import BoxArray
+from repro.vectorize import chunked_blocks, expand_counts
+
+
+def _candidate_hits(
+    drv_lo: np.ndarray,
+    drv_hi: np.ndarray,
+    oth_lo: np.ndarray,
+    oth_hi: np.ndarray,
+    start: np.ndarray,
+    stop: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Intersecting (driver, other) position pairs among the candidates.
+
+    ``start``/``stop`` give, per driver element, the half-open range of
+    candidate positions in the other (sorted) input.  The candidate
+    ranges already guarantee x-overlap (the other box *opens* inside
+    the driver's x-extent), so only axes 1.. are tested.  Work proceeds
+    in driver blocks of bounded total expansion.
+    """
+    counts = stop - start
+    hits_d: list[np.ndarray] = []
+    hits_o: list[np.ndarray] = []
+    for block_lo, block_hi in chunked_blocks(counts):
+        d, within = expand_counts(counts[block_lo:block_hi])
+        d += block_lo
+        if d.size:
+            o = start[d] + within
+            ok = np.all(
+                (drv_lo[d, 1:] <= oth_hi[o, 1:])
+                & (drv_hi[d, 1:] >= oth_lo[o, 1:]),
+                axis=1,
+            )
+            if ok.any():
+                hits_d.append(d[ok])
+                hits_o.append(o[ok])
+    if not hits_d:
+        return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+    return np.concatenate(hits_d), np.concatenate(hits_o)
 
 
 def plane_sweep_join(a: BoxArray, b: BoxArray) -> tuple[np.ndarray, int]:
@@ -22,6 +70,51 @@ def plane_sweep_join(a: BoxArray, b: BoxArray) -> tuple[np.ndarray, int]:
     every candidate whose x-interval overlaps (the sweep's stopping
     rule itself — comparing two x-coordinates — is not counted, again
     matching what the comparison counters in the paper's figures mean).
+    """
+    if len(a) == 0 or len(b) == 0:
+        return np.empty((0, 2), dtype=np.intp), 0
+    if a.ndim != b.ndim:
+        raise ValueError("dimensionality mismatch")
+
+    a_order = np.argsort(a.lo[:, 0], kind="stable")
+    b_order = np.argsort(b.lo[:, 0], kind="stable")
+    a_lo, a_hi = a.lo[a_order], a.hi[a_order]
+    b_lo, b_hi = b.lo[b_order], b.hi[b_order]
+    ax, bx = a_lo[:, 0], b_lo[:, 0]
+
+    # a-driven scans: a[i] opens first (ties included) and scans every
+    # b whose low x falls inside a[i]'s x-extent.
+    a_start = np.searchsorted(bx, ax, side="left")
+    a_stop = np.searchsorted(bx, a_hi[:, 0], side="right")
+    # b-driven scans: strictly-later-opening a's within b[j]'s x-extent
+    # (an a opening at the same x was handled by the a-driven side).
+    b_start = np.searchsorted(ax, bx, side="right")
+    b_stop = np.searchsorted(ax, b_hi[:, 0], side="right")
+
+    tests = int((a_stop - a_start).sum() + (b_stop - b_start).sum())
+
+    da, oa = _candidate_hits(a_lo, a_hi, b_lo, b_hi, a_start, a_stop)
+    db, ob = _candidate_hits(b_lo, b_hi, a_lo, a_hi, b_start, b_stop)
+    if da.size == 0 and db.size == 0:
+        return np.empty((0, 2), dtype=np.intp), tests
+    pairs = np.concatenate(
+        (
+            np.column_stack((a_order[da], b_order[oa])),
+            np.column_stack((a_order[ob], b_order[db])),
+        )
+    )
+    return pairs, tests
+
+
+def plane_sweep_join_reference(
+    a: BoxArray, b: BoxArray
+) -> tuple[np.ndarray, int]:
+    """Element-at-a-time formulation of :func:`plane_sweep_join`.
+
+    Kept as the correctness/counting baseline: the vectorized kernel
+    must report the same pair set and the exact same ``tests`` count
+    (see ``tests/test_vectorization_equivalence.py`` and the benchmark
+    trajectory's filter-phase measurement).
     """
     if len(a) == 0 or len(b) == 0:
         return np.empty((0, 2), dtype=np.intp), 0

@@ -135,19 +135,19 @@ class S3Join(SpatialJoinAlgorithm):
             if not len(members):
                 continue
             cells = assigned_cell[level][members]
-            # Group members by their cell tuple.
+            # Group members by their cell tuple (vectorised group-by:
+            # lexsort then split at the cell-change boundaries).
             order = np.lexsort(cells.T[::-1])
             members = members[order]
             cells = cells[order]
-            boundaries = np.nonzero(np.any(np.diff(cells, axis=0) != 0, axis=1))[0]
-            starts = np.concatenate(([0], boundaries + 1, [len(members)]))
-            for g in range(len(starts) - 1):
-                s, e = starts[g], starts[g + 1]
-                if s == e:
-                    continue
-                cell_key = (level, tuple(int(c) for c in cells[s]))
+            boundaries = (
+                np.nonzero(np.any(np.diff(cells, axis=0) != 0, axis=1))[0] + 1
+            )
+            for group, cell in zip(
+                np.split(members, boundaries), cells[np.concatenate(([0], boundaries))]
+            ):
+                cell_key = (level, tuple(int(c) for c in cell))
                 pages = cell_pages.setdefault(cell_key, [])
-                group = members[s:e]
                 for chunk_start in range(0, len(group), capacity):
                     chunk = group[chunk_start : chunk_start + capacity]
                     pages.append(

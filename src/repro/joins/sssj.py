@@ -111,8 +111,20 @@ class SSSJJoin(SpatialJoinAlgorithm):
 
         capacity = element_page_capacity(disk.model.page_size, dataset.ndim)
         strip_pages: list[list[int]] = [[] for _ in range(self.strips)]
+        # One vectorised group-by instead of a per-strip membership scan:
+        # stable-sorting the narrow elements by strip keeps the members
+        # of each strip in ascending input order, so the page layout is
+        # identical to a strip-at-a-time pass.
+        narrow_members = np.nonzero(~spanning)[0]
+        strip_of = lo_strip[narrow_members]
+        sort = np.argsort(strip_of, kind="stable")
+        narrow_members = narrow_members[sort]
+        strip_of = strip_of[sort]
+        group_bounds = np.searchsorted(
+            strip_of, np.arange(self.strips + 1), side="left"
+        )
         for s in range(self.strips):
-            members = np.nonzero((lo_strip == s) & ~spanning)[0]
+            members = narrow_members[group_bounds[s] : group_bounds[s + 1]]
             for chunk_start in range(0, len(members), capacity):
                 chunk = members[chunk_start : chunk_start + capacity]
                 strip_pages[s].append(

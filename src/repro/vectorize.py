@@ -1,0 +1,60 @@
+"""Shared NumPy helpers for the vectorized hot paths.
+
+The filter-phase kernels (plane sweep, grid hash) and the grid's
+multiple-assignment expansion all rely on the same two idioms:
+
+* **ragged expansion** — turning a per-group candidate count into flat
+  ``(group, within)`` index rows without a Python loop;
+* **chunked blocks** — walking groups in slabs whose total expansion
+  stays near a bound, so broadcast intermediates remain cache- and
+  memory-friendly however skewed the counts are.
+
+Keeping them here (rather than one private copy per kernel) means a
+fix to the expansion or chunking behaviour lands everywhere at once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+#: Default upper bound on expanded rows materialised at once.
+EXPANSION_CHUNK = 1 << 19
+
+
+def expand_counts(
+    counts: np.ndarray, dtype: type = np.intp
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat ``(group, within)`` rows for a ragged expansion.
+
+    ``counts[g]`` gives group ``g``'s row count; the result enumerates
+    every row as its group index and its 0-based offset inside the
+    group, in group-major order.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=dtype), np.empty(0, dtype=dtype)
+    group = np.repeat(np.arange(len(counts), dtype=dtype), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total, dtype=dtype) - np.repeat(offsets, counts)
+    return group, within
+
+
+def chunked_blocks(
+    counts: np.ndarray, chunk: int = EXPANSION_CHUNK
+) -> Iterator[tuple[int, int]]:
+    """Half-open group blocks whose total expansion stays near ``chunk``.
+
+    Always yields at least one group per block, so a single group
+    larger than ``chunk`` still goes through (as its own block).
+    """
+    ends = np.cumsum(counts)
+    n = len(counts)
+    lo = 0
+    while lo < n:
+        done = int(ends[lo - 1]) if lo else 0
+        hi = int(np.searchsorted(ends, done + chunk, side="left"))
+        hi = min(max(hi, lo + 1), n)
+        yield lo, hi
+        lo = hi
