@@ -20,11 +20,11 @@ Two profiles are pinned:
 Usage::
 
     # Record/refresh the committed baseline (both profiles):
-    PYTHONPATH=src python benchmarks/trajectory.py --output BENCH_pr3.json
+    PYTHONPATH=src python benchmarks/trajectory.py --output BENCH_pr4.json
 
     # CI smoke: run small N, write the artifact, gate vs the baseline:
     PYTHONPATH=src python benchmarks/trajectory.py --profile smoke \
-        --output bench_smoke.json --baseline BENCH_pr3.json
+        --output bench_smoke.json --baseline BENCH_pr4.json
 
 The comparison fails (exit code 1) when
 
@@ -41,7 +41,10 @@ The comparison fails (exit code 1) when
   both numbers together; a code regression moves only the suite;
 * the filter-phase kernels fall below ``--min-filter-speedup``
   (default 3×) over the reference implementations, or stop agreeing
-  with them.
+  with them;
+* the service layer's result cache stops serving repeated joins
+  byte-identically, deflects no traffic, or falls below
+  ``--min-cache-speedup`` (default 20×) warm-vs-cold.
 """
 
 from __future__ import annotations
@@ -69,7 +72,7 @@ from repro.joins.plane_sweep import (  # noqa: E402
     plane_sweep_join_reference,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2  # v2: adds the "service" result-cache section
 
 #: The pinned suite: experiment name -> harness entry point.
 SUITE = {
@@ -167,8 +170,59 @@ def measure_filter_phase(scale: float) -> dict:
     }
 
 
+def measure_service(scale: float) -> dict:
+    """Result-cache effectiveness of the long-lived service layer.
+
+    The service acceptance claim: a repeated identical join is served
+    from the result cache byte-identically and >= 20x faster than the
+    cold run.  One cold submit, then best-of-5 warm submits of the
+    same request, plus the ``ServiceStats`` counters backing the
+    numbers.  The speedup is wall-clock on *this* machine, but both
+    sides run in the same process seconds apart, so the ratio is
+    machine-independent in the way the suite walls are not.
+    """
+    import pickle
+
+    from repro.engine import JoinRequest
+    from repro.service import SpatialQueryService
+
+    n = scale_counts([14_000], scale)[0]
+    space = scaled_space(2 * n)
+    service = SpatialQueryService()
+    service.register(
+        "bench-a", uniform_dataset(n, seed=31, name="uniformA", space=space)
+    )
+    service.register(
+        "bench-b",
+        uniform_dataset(
+            n, seed=32, name="uniformB", id_offset=10**9, space=space
+        ),
+    )
+    request = JoinRequest("bench-a", "bench-b", algorithm="transformers")
+
+    t0 = time.perf_counter()
+    cold = service.submit(request)
+    cold_s = time.perf_counter() - t0
+    warm_s, warm = _time(service.submit, request, repeats=5)
+
+    stats = service.stats()
+    return {
+        "n_per_side": n,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 1),
+        "byte_identical": bool(
+            warm.cached
+            and pickle.dumps(warm.report) == pickle.dumps(cold.report)
+        ),
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "cache_hit_rate": round(stats.cache_hit_rate, 4),
+    }
+
+
 def run_profile(name: str) -> dict:
-    """Run the pinned suite plus the filter-phase measurement."""
+    """Run the pinned suite plus filter-phase and service measurements."""
     scale = PROFILES[name]
     out: dict = {"scale": scale, "experiments": {}}
     for exp_name, fn in SUITE.items():
@@ -186,6 +240,13 @@ def run_profile(name: str) -> dict:
         f"[{name}] filter phase @ n={fp['n_per_side']}: "
         f"grid-hash {fp['grid_hash']['speedup']}x, "
         f"plane-sweep {fp['plane_sweep']['speedup']}x vs reference"
+    )
+    out["service"] = measure_service(scale)
+    sv = out["service"]
+    print(
+        f"[{name}] service cache @ n={sv['n_per_side']}: "
+        f"{sv['speedup']}x warm-vs-cold, byte_identical="
+        f"{sv['byte_identical']}"
     )
     return out
 
@@ -214,6 +275,7 @@ def compare_profile(
     profile: str,
     wall_tolerance: float,
     min_filter_speedup: float,
+    min_cache_speedup: float,
 ) -> list[str]:
     """Failures of ``current`` against ``baseline`` (empty = pass)."""
     failures: list[str] = []
@@ -265,6 +327,26 @@ def compare_profile(
                 f"{profile}: {kernel} filter-phase speedup "
                 f"{k['speedup']}x below the {min_filter_speedup}x floor"
             )
+
+    # Service-layer gate: properties of the *current* run (the speedup
+    # is an in-process warm/cold ratio, so no machine normalisation is
+    # needed); tolerated as absent in pre-service baselines.
+    service = current.get("service")
+    if service is not None:
+        if not service["byte_identical"]:
+            failures.append(
+                f"{profile}: cached service report is not byte-identical "
+                "to the cold run"
+            )
+        if service["speedup"] < min_cache_speedup:
+            failures.append(
+                f"{profile}: service result-cache speedup "
+                f"{service['speedup']}x below the {min_cache_speedup}x floor"
+            )
+        if service["cache_hit_rate"] <= 0.0:
+            failures.append(
+                f"{profile}: service result cache deflected no traffic"
+            )
     return failures
 
 
@@ -297,6 +379,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="required filter-phase speedup over the reference kernels "
         "(default 3.0)",
     )
+    parser.add_argument(
+        "--min-cache-speedup", type=float, default=20.0,
+        help="required warm-vs-cold speedup of the service result cache "
+        "(default 20.0)",
+    )
     args = parser.parse_args(argv)
 
     names = list(PROFILES) if args.profile == "all" else [args.profile]
@@ -325,6 +412,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 compare_profile(
                     result["profiles"][name], base_profile, name,
                     args.wall_tolerance, args.min_filter_speedup,
+                    args.min_cache_speedup,
                 )
             )
         if failures:

@@ -9,6 +9,11 @@ Public API tour:
   plans ``algorithm="auto"``, caches per-dataset indexes for reuse
   across joins and :meth:`~repro.engine.SpatialWorkspace.range_query`,
   and returns structured :class:`~repro.engine.RunReport` objects;
+* **the service** — :class:`~repro.service.SpatialQueryService`, a
+  long-lived front-end for sustained traffic: a content-fingerprinted
+  dataset catalog, a bounded LRU result cache answering repeated joins
+  synchronously, range queries off cached indexes, and
+  :class:`~repro.service.ServiceStats` observability;
 * **the contribution** — :class:`~repro.core.TransformersJoin` with
   :class:`~repro.core.TransformersConfig`;
 * **baselines** — :class:`~repro.joins.PBSMJoin`,
@@ -85,9 +90,15 @@ from repro.joins import (
     SynchronizedRTreeJoin,
     distance_join,
 )
+from repro.service import (
+    ServiceResponse,
+    ServiceStats,
+    SpatialQueryService,
+    dataset_fingerprint,
+)
 from repro.storage import BufferPool, DiskModel, SimulatedDisk
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -102,6 +113,11 @@ __all__ = [
     "plan_join",
     "register_algorithm",
     "range_query",
+    # service (long-lived front-end: catalog + result cache)
+    "SpatialQueryService",
+    "ServiceResponse",
+    "ServiceStats",
+    "dataset_fingerprint",
     # core
     "TransformersJoin",
     "TransformersConfig",

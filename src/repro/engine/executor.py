@@ -233,8 +233,14 @@ class BatchReport:
 
     @property
     def speedup(self) -> float:
-        """Wall-clock speedup over serial execution of the same batch."""
-        if self.wall_seconds <= 0.0:
+        """Wall-clock speedup over serial execution of the same batch.
+
+        Degenerate batches — no outcomes, or wall clocks too fast for
+        the timer to resolve — report a neutral 1.0 instead of dividing
+        by zero (an empty batch is exactly as fast as running it
+        serially: instant).
+        """
+        if self.wall_seconds <= 0.0 or self.serial_wall_seconds <= 0.0:
             return 1.0
         return self.serial_wall_seconds / self.wall_seconds
 
@@ -257,6 +263,26 @@ class BatchReport:
     def total_pairs(self) -> int:
         """Summed result pairs across successful requests."""
         return sum(r.pairs_found for r in self.reports)
+
+    def latency_percentiles(self) -> dict[str, dict[str, float]]:
+        """Per-algorithm request-latency summary (count/mean/p50/p90/p99).
+
+        Latencies are the per-request end-to-end walls measured inside
+        the workers; failed requests (no report, hence no algorithm)
+        are excluded.  Empty batches return an empty mapping.
+        """
+        from repro.metrics import latency_summary
+
+        samples: dict[str, list[float]] = {}
+        for outcome in self.outcomes:
+            if outcome.report is not None:
+                samples.setdefault(outcome.report.algorithm, []).append(
+                    outcome.wall_seconds
+                )
+        return {
+            name: latency_summary(walls)
+            for name, walls in sorted(samples.items())
+        }
 
     def by_algorithm(self) -> dict[str, dict[str, float]]:
         """Aggregate accounting grouped by executed algorithm."""

@@ -88,17 +88,23 @@ class _CachedIndex:
         self.pages_written = pages_written
 
 
-def _algorithm_signature(algo: SpatialJoinAlgorithm) -> str:
+def algorithm_signature(algo: SpatialJoinAlgorithm) -> str:
     """Stable cache signature of a configured algorithm instance.
 
     Private attributes are skipped: they hold runtime helpers whose
-    reprs are not value-based.
+    reprs are not value-based.  The signature keys the workspace's
+    index cache and the service layer's result cache, so two instances
+    with equal public configuration must produce equal signatures.
     """
     public = {
         k: v for k, v in vars(algo).items() if not k.startswith("_")
     }
     inner = ", ".join(f"{k}={public[k]!r}" for k in sorted(public))
     return f"{algo.name}({inner})"
+
+
+# Backwards-compatible alias (pre-service-layer internal name).
+_algorithm_signature = algorithm_signature
 
 
 class SpatialWorkspace:
@@ -170,7 +176,7 @@ class SpatialWorkspace:
         """Register an externally built index under a dataset name."""
         if index.disk is not self.disk:
             raise ValueError("index must live on this workspace's disk")
-        key = (name, _algorithm_signature(TransformersJoin()))
+        key = (name, algorithm_signature(TransformersJoin()))
         self._cache_store(
             key,
             _CachedIndex(
@@ -202,6 +208,23 @@ class SpatialWorkspace:
         Explicit drops are not counted as evictions.
         """
         self._cache.clear()
+
+    def forget(self, dataset: Dataset | str) -> int:
+        """Drop every cached index of one dataset; return how many.
+
+        Accepts the dataset object itself or an adopted index's name.
+        Used by the service layer when a catalog name is re-bound to
+        new data: the old dataset's indexes would otherwise pin stale
+        arrays until LRU pressure happens to evict them.  Explicit
+        drops are not counted as evictions.
+        """
+        dataset_key: object = (
+            dataset if isinstance(dataset, str) else id(dataset)
+        )
+        doomed = [key for key in self._cache if key[0] == dataset_key]
+        for key in doomed:
+            del self._cache[key]
+        return len(doomed)
 
     def _cache_store(self, key: tuple[object, str], entry: _CachedIndex) -> None:
         """Insert a cache entry, evicting least-recently-used overflow."""
@@ -433,7 +456,7 @@ class SpatialWorkspace:
         self, algo: SpatialJoinAlgorithm, dataset: Dataset, reuse: bool
     ) -> tuple[object, JoinStats, bool, int]:
         """Build or reuse one index; returns (handle, stats, reused, writes)."""
-        key = (id(dataset), _algorithm_signature(algo))
+        key = (id(dataset), algorithm_signature(algo))
         if reuse:
             entry = self._cache.get(key)
             if entry is not None:

@@ -47,6 +47,37 @@ def _experiment_workers() -> int:
     return max(1, int(os.environ.get("REPRO_EXPERIMENT_WORKERS", "1")))
 
 
+#: Process-wide service for REPRO_EXPERIMENT_SERVICE=1 runs (created
+#: lazily so the default harness path never pays for it).
+_SERVICE = None
+
+
+def _experiment_service():
+    """The shared :class:`~repro.service.SpatialQueryService`, if opted in.
+
+    ``REPRO_EXPERIMENT_SERVICE=1`` routes every experiment join through
+    one long-lived service: repeated (dataset pair, algorithm)
+    combinations across figures are answered from the result cache
+    instead of being re-executed.  The cached report *is* the first
+    run's report — deterministic counters are unchanged; only
+    wall-clock fields reflect the original run rather than a re-run,
+    which is why this path is opt-in rather than the default
+    measurement protocol.
+    """
+    global _SERVICE
+    if _SERVICE is None:
+        from repro.service import SpatialQueryService
+
+        _SERVICE = SpatialQueryService(
+            max_workers=_experiment_workers(), max_cached_results=1024
+        )
+    return _SERVICE
+
+
+def _service_enabled() -> bool:
+    return os.environ.get("REPRO_EXPERIMENT_SERVICE", "0") == "1"
+
+
 def _standard_algorithms(
     with_gipsy: bool = False, with_rtree: bool = True
 ) -> list[str]:
@@ -75,6 +106,12 @@ def _run_one(
     ``space`` is a planner input, so it only applies to registry
     names; pre-configured instances already carry their parameters.
     """
+    if _service_enabled():
+        request = JoinRequest(
+            a, b, algorithm=algorithm,
+            space=space if isinstance(algorithm, str) else None,
+        )
+        return _experiment_service().submit(request).raise_for_failure().report
     workspace = SpatialWorkspace()
     if isinstance(algorithm, str):
         return workspace.join(a, b, algorithm=algorithm, space=space)
@@ -100,6 +137,9 @@ def _run_all(
         )
         for algo in algorithms
     ]
+    if _service_enabled():
+        responses = _experiment_service().submit_many(requests)
+        return [r.raise_for_failure().report for r in responses]
     batch = BatchExecutor(max_workers=_experiment_workers()).run(requests)
     batch.raise_failures()
     return batch.reports

@@ -14,8 +14,49 @@ those breakdowns.
 
 from __future__ import annotations
 
+import math
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values``; 0.0 for an empty input.
+
+    Latency reporting runs on whatever samples exist — including none
+    at all (a service that has served no requests yet, a batch with
+    zero outcomes) — so the degenerate cases must answer harmlessly
+    instead of dividing by zero.
+
+    >>> percentile([3.0, 1.0, 2.0], 50)
+    2.0
+    >>> percentile([], 99)
+    0.0
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile rank must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_summary(seconds: Sequence[float]) -> dict[str, float]:
+    """Count / mean / p50 / p90 / p99 of a latency sample, all in seconds.
+
+    Safe on empty samples (all zeros), which is how per-algorithm
+    service statistics report algorithms that have not run yet.
+    """
+    values = [float(v) for v in seconds]
+    n = len(values)
+    return {
+        "count": float(n),
+        "mean_s": (sum(values) / n) if n else 0.0,
+        "p50_s": percentile(values, 50),
+        "p90_s": percentile(values, 90),
+        "p99_s": percentile(values, 99),
+    }
 
 
 class Counter:

@@ -22,6 +22,14 @@ from repro.geometry.cylinder import Cylinder
 _EPS = 1e-12
 
 
+def _point_segment_distance(
+    point: np.ndarray, origin: np.ndarray, direction: np.ndarray, len_sq: float
+) -> float:
+    """Distance from ``point`` to the segment ``origin + t*direction``."""
+    t = min(max(float(np.dot(point - origin, direction)) / len_sq, 0.0), 1.0)
+    return float(np.linalg.norm(point - (origin + direction * t)))
+
+
 def segment_distance(
     p0: Sequence[float],
     p1: Sequence[float],
@@ -35,9 +43,19 @@ def segment_distance(
     result is exact to within 1e-6 — far below any cylinder radius the
     refinement step compares against.
 
+    The result is exactly symmetric in the two segments: near the
+    parallel threshold the closest-point parametrisation suffers
+    catastrophic cancellation whose rounding depends on which segment
+    plays which role, so the arguments are put into a canonical order
+    first.
+
     >>> segment_distance((0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0))
     1.0
     """
+    first = (tuple(float(v) for v in p0), tuple(float(v) for v in p1))
+    second = (tuple(float(v) for v in q0), tuple(float(v) for v in q1))
+    if second < first:
+        p0, p1, q0, q1 = q0, q1, p0, p1
     p0 = np.asarray(p0, dtype=np.float64)
     p1 = np.asarray(p1, dtype=np.float64)
     q0 = np.asarray(q0, dtype=np.float64)
@@ -65,9 +83,21 @@ def segment_distance(
         else:
             b = float(np.dot(d1, d2))
             denom = a * e - b * b
-            # Closest point on infinite lines, clamped; denom == 0 for
-            # parallel segments, where any s works — pick 0.
-            s = min(max((b * f - c * e) / denom, 0.0), 1.0) if denom > _EPS else 0.0
+            if denom <= _EPS:
+                # (Near-)parallel segments: the infinite-line solution
+                # is degenerate, and picking an arbitrary s is
+                # order-dependent (it can miss a touching endpoint on
+                # one side but not the other).  For parallel segments
+                # the minimum is always attained at an endpoint of one
+                # segment, and this candidate set is symmetric under
+                # swapping the arguments.
+                return min(
+                    _point_segment_distance(p0, q0, d2, e),
+                    _point_segment_distance(p1, q0, d2, e),
+                    _point_segment_distance(q0, p0, d1, a),
+                    _point_segment_distance(q1, p0, d1, a),
+                )
+            s = min(max((b * f - c * e) / denom, 0.0), 1.0)
             t = (b * s + f) / e
             # If t is outside [0,1], clamp it and recompute s.
             if t < 0.0:

@@ -1,0 +1,116 @@
+"""Bounded LRU result cache with hit/miss/eviction/invalidation counters.
+
+Stores finished :class:`~repro.engine.report.RunReport` objects under
+content-addressed request keys
+(:func:`~repro.service.fingerprint.request_cache_key`).  Because the
+keys are fingerprints of the inputs plus the canonicalised algorithm
+configuration, a hit is guaranteed to be the *same computation*: the
+cached report is returned as-is, byte-identical to the run that
+produced it.
+
+Counters follow cache-server conventions: every lookup is exactly one
+hit or one miss (so ``hits + misses == lookups`` always holds), bound
+overflow counts evictions, and explicit invalidation — a catalog name
+re-bound to new content — counts invalidations separately.
+
+Not thread-safe by itself; the owning service serialises access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.engine.report import RunReport
+
+
+class ResultCache:
+    """LRU mapping of request keys to finished :class:`RunReport`\\ s.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on cached reports; the least recently used entry
+        is evicted on overflow.  ``None`` disables the bound.
+    """
+
+    def __init__(self, max_entries: int | None = 256) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, RunReport] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> RunReport | None:
+        """The cached report for ``key`` (refreshing recency), or None.
+
+        Counts exactly one hit or one miss per call.
+        """
+        report = self._entries.get(key)
+        if report is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return report
+
+    def put(self, key: tuple, report: RunReport) -> None:
+        """Store a report, evicting least-recently-used overflow."""
+        self._entries[key] = report
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry whose key references ``fingerprint``.
+
+        A request key references the fingerprints of both join sides
+        (its first two components); results computed from content that
+        is no longer served are stale on either side.  Returns the
+        number of entries dropped and counts them as invalidations.
+        """
+        doomed = [key for key in self._entries if fingerprint in key[:2]]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (counted as invalidations)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def lookups(self) -> int:
+        """Total lookups so far (``hits + misses`` by construction)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache; 0.0 before any lookup."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(size={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )

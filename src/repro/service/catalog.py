@@ -1,0 +1,121 @@
+"""Dataset catalog: stable names bound to fingerprinted content.
+
+A long-lived service cannot key anything on ``id(dataset)`` — callers
+come and go, processes restart, and the same logical dataset arrives
+as many different objects.  The catalog gives each dataset a stable
+*name* and tracks what that name currently means via a content
+fingerprint (:func:`~repro.service.fingerprint.dataset_fingerprint`):
+
+* registering a name twice with equal content is a no-op (same entry,
+  same version — the existing object is kept so downstream identity-
+  keyed caches, like the workspace index cache, stay hot);
+* registering a name with *changed* content bumps the entry's version,
+  which is the signal the service uses to invalidate exactly the
+  results computed from the old content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.joins.base import Dataset
+from repro.service.fingerprint import dataset_fingerprint
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One name binding: the dataset, its fingerprint, its version."""
+
+    name: str
+    dataset: Dataset
+    fingerprint: str
+    #: Starts at 1; bumped every time the name is re-bound to content
+    #: with a different fingerprint.
+    version: int
+
+
+class DatasetCatalog:
+    """Name -> :class:`CatalogEntry` mapping with version tracking.
+
+    Not thread-safe by itself; the owning
+    :class:`~repro.service.service.SpatialQueryService` serialises
+    access.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CatalogEntry] = {}
+
+    def register(self, name: str, dataset: Dataset) -> CatalogEntry:
+        """Bind ``name`` to ``dataset``; returns the current entry.
+
+        Equal content (same fingerprint) keeps the existing entry —
+        including the originally registered object, so identity-keyed
+        index caches remain valid.  Changed content replaces the entry
+        with a bumped version.
+        """
+        if not isinstance(name, str) or not name.strip():
+            raise ValueError("dataset name must be a non-empty string")
+        if not isinstance(dataset, Dataset):
+            raise TypeError(
+                f"can only register Dataset objects, got "
+                f"{type(dataset).__name__}"
+            )
+        fingerprint = dataset_fingerprint(dataset)
+        old = self._entries.get(name)
+        if old is not None and old.fingerprint == fingerprint:
+            return old
+        entry = CatalogEntry(
+            name=name,
+            dataset=dataset,
+            fingerprint=fingerprint,
+            version=1 if old is None else old.version + 1,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def resolve(self, name: str) -> CatalogEntry:
+        """The entry bound to ``name``; raises ``KeyError`` otherwise."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<catalog is empty>"
+            raise KeyError(
+                f"no dataset registered under {name!r}; registered: {known}"
+            ) from None
+
+    def get(self, name: str) -> CatalogEntry | None:
+        """The entry bound to ``name``, or ``None``."""
+        return self._entries.get(name)
+
+    def unregister(self, name: str) -> CatalogEntry:
+        """Remove and return the entry bound to ``name``."""
+        entry = self.resolve(name)
+        del self._entries[name]
+        return entry
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def names_bound_to(self, fingerprint: str) -> tuple[str, ...]:
+        """Names currently bound to content with this fingerprint.
+
+        Drives invalidation exactness: results for a fingerprint stay
+        cached as long as *some* name still serves that content.
+        """
+        return tuple(
+            sorted(
+                name
+                for name, entry in self._entries.items()
+                if entry.fingerprint == fingerprint
+            )
+        )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatasetCatalog(datasets={len(self._entries)})"

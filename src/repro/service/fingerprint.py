@@ -1,0 +1,135 @@
+"""Stable content fingerprints for datasets and request cache keys.
+
+The catalog and the result cache identify datasets by *content*, not by
+object identity or registration name: a fingerprint is a SHA-256 over
+the canonical bytes of the element ids and box bounds (little-endian
+int64 / IEEE-754 float64, C-contiguous row-major), prefixed with the
+cardinality and dimensionality so structurally different datasets can
+never collide byte-wise.  That makes fingerprints
+
+* stable across processes (no interpreter hash salting is involved),
+* stable across pickle round-trips and reconstruction paths (the bytes
+  are canonicalised before hashing), and
+* sensitive to any element perturbation — changing one id or one
+  coordinate changes the digest.
+
+Request cache keys build on the same idea: two
+:class:`~repro.engine.executor.JoinRequest` submissions hit the same
+cache slot exactly when their inputs have equal content *and* their
+algorithm/space/parameter configuration canonicalises identically.
+"""
+
+from __future__ import annotations
+
+import struct
+import weakref
+
+import numpy as np
+
+from repro.engine.workspace import algorithm_signature
+from repro.geometry.box import Box
+from repro.joins.base import Dataset, SpatialJoinAlgorithm
+
+#: Domain separator, versioned: bump when the canonical byte layout
+#: changes so old persisted fingerprints cannot silently alias new ones.
+_MAGIC = b"repro.dataset.v1"
+
+#: Identity-keyed digest memo.  Dataset is frozen and BoxArray's
+#: arrays are write-protected, so a given object's content bytes can
+#: never change — hashing them once per object is enough.  Entries are
+#: purged by the weakref callback when the dataset is collected (the
+#: callback runs during deallocation, before the id can be reused; the
+#: identity check on lookup guards the remaining window).
+_MEMO: dict[int, tuple[weakref.ref, str]] = {}
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Hex SHA-256 digest of the dataset's canonical content bytes.
+
+    The dataset *name* is deliberately excluded: two datasets with
+    equal elements are the same data wherever they came from, which is
+    what lets the service serve a re-registered-but-unchanged dataset
+    from cache without invalidation.
+
+    >>> import numpy as np
+    >>> from repro.geometry.boxes import BoxArray
+    >>> from repro.joins.base import Dataset
+    >>> ba = BoxArray(np.zeros((1, 3)), np.ones((1, 3)))
+    >>> d1 = Dataset("a", np.array([7]), ba)
+    >>> d2 = Dataset("b", np.array([7]), ba)
+    >>> dataset_fingerprint(d1) == dataset_fingerprint(d2)
+    True
+    """
+    import hashlib
+
+    if not isinstance(dataset, Dataset):
+        raise TypeError(
+            f"dataset_fingerprint takes a Dataset, got {type(dataset).__name__}"
+        )
+    memo_key = id(dataset)
+    cached = _MEMO.get(memo_key)
+    if cached is not None and cached[0]() is dataset:
+        return cached[1]
+    digest = hashlib.sha256()
+    digest.update(_MAGIC)
+    digest.update(struct.pack("<qq", len(dataset), dataset.ndim))
+    digest.update(np.ascontiguousarray(dataset.ids, dtype="<i8").tobytes())
+    digest.update(np.ascontiguousarray(dataset.boxes.lo, dtype="<f8").tobytes())
+    digest.update(np.ascontiguousarray(dataset.boxes.hi, dtype="<f8").tobytes())
+    result = digest.hexdigest()
+    _MEMO[memo_key] = (
+        weakref.ref(dataset, lambda _, k=memo_key: _MEMO.pop(k, None)),
+        result,
+    )
+    return result
+
+
+def _space_signature(space: object) -> object:
+    """Canonical, hashable form of a planner ``space`` input."""
+    if space is None:
+        return None
+    if isinstance(space, Box):
+        return (tuple(map(float, space.lo)), tuple(map(float, space.hi)))
+    raise TypeError(
+        f"space must be a Box or None, got {type(space).__name__}"
+    )
+
+
+def _parameters_signature(parameters: dict[str, object] | None) -> object:
+    """Canonical, hashable form of planner parameter overrides."""
+    if not parameters:
+        return None
+    return tuple(
+        (str(key), repr(parameters[key])) for key in sorted(parameters)
+    )
+
+
+def request_cache_key(
+    fingerprint_a: str,
+    fingerprint_b: str,
+    algorithm: str | SpatialJoinAlgorithm,
+    space: object = None,
+    parameters: dict[str, object] | None = None,
+) -> tuple:
+    """The result-cache key of one join request.
+
+    ``(fingerprint_a, fingerprint_b, algorithm, params)`` — content
+    fingerprints of both sides plus the canonicalised algorithm choice
+    (a registry name, including ``"auto"``, or a configured instance's
+    :func:`~repro.engine.workspace.algorithm_signature`) and planner
+    inputs.  ``"auto"`` keys on the *request*: the planner's resolution
+    is a deterministic function of the inputs, so equal keys imply
+    equal resolved plans.
+    """
+    algo_sig = (
+        algorithm.strip().lower()
+        if isinstance(algorithm, str)
+        else algorithm_signature(algorithm)
+    )
+    return (
+        fingerprint_a,
+        fingerprint_b,
+        algo_sig,
+        _space_signature(space),
+        _parameters_signature(parameters),
+    )

@@ -1,0 +1,95 @@
+"""Service observability: the :class:`ServiceStats` snapshot.
+
+A long-lived service is only operable if its behaviour is visible from
+outside: how much traffic it absorbed, how much of it the result cache
+deflected, and what latency the cache misses actually cost, per
+algorithm.  :meth:`SpatialQueryService.stats()
+<repro.service.service.SpatialQueryService.stats>` assembles one
+immutable snapshot of all of that; the throughput benchmark and the
+benchmark-trajectory gate consume it directly.
+
+Percentile math lives in :func:`repro.metrics.latency_summary` and is
+safe on empty samples — a freshly started service reports zeros, not
+``ZeroDivisionError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Immutable snapshot of one service's lifetime counters.
+
+    ``requests`` counts join submissions (through ``submit`` /
+    ``submit_many``); range queries are tracked separately in
+    ``range_requests``.  The result-cache invariant
+    ``cache_hits + cache_misses == requests`` holds at every snapshot:
+    each join submission probes the cache exactly once.
+    """
+
+    #: Seconds since the service was constructed.
+    uptime_seconds: float
+    #: Join submissions so far (each is exactly one cache hit or miss).
+    requests: int
+    #: Range queries served (off cached per-dataset indexes).
+    range_requests: int
+    #: Join submissions whose execution failed (error captured, not cached).
+    failures: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_invalidations: int
+    #: Reports currently held by the result cache.
+    cache_size: int
+    cache_max_entries: int | None
+    #: Names currently registered in the dataset catalog.
+    catalog_size: int
+    #: Per-algorithm latency summaries (count/mean/p50/p90/p99 seconds),
+    #: over service-side request walls: cache hits contribute their
+    #: (near-zero) lookup latency, misses their full execution latency,
+    #: and range queries appear under ``"range_query"``.  Count and
+    #: mean cover the service's whole lifetime; the percentiles are
+    #: computed over a bounded window of the most recent samples, so
+    #: observability stays O(1) per request however long the service
+    #: runs.
+    latency_by_algorithm: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of join submissions served from cache."""
+        if not self.requests:
+            return 0.0
+        return self.cache_hits / self.requests
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests (joins + range queries) per second of uptime."""
+        if self.uptime_seconds <= 0.0:
+            return 0.0
+        return (self.requests + self.range_requests) / self.uptime_seconds
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat reporting view (JSON-friendly)."""
+        return {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "requests": self.requests,
+            "range_requests": self.range_requests,
+            "failures": self.failures,
+            "throughput_rps": round(self.throughput_rps, 1),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "cache_evictions": self.cache_evictions,
+            "cache_invalidations": self.cache_invalidations,
+            "cache_size": self.cache_size,
+            "cache_max_entries": self.cache_max_entries,
+            "catalog_size": self.catalog_size,
+            "latency_by_algorithm": {
+                name: {k: round(v, 6) for k, v in row.items()}
+                for name, row in self.latency_by_algorithm.items()
+            },
+        }

@@ -14,6 +14,7 @@ import pytest
 from repro.datagen import dense_cluster, scaled_space, uniform_dataset
 from repro.engine import (
     BatchExecutor,
+    BatchReport,
     DatasetSpec,
     JoinRequest,
     SpatialWorkspace,
@@ -334,3 +335,53 @@ class TestWorkspaceIntegration:
         report = SpatialWorkspace().join(a, empty, algorithm="rtree")
         assert report.pairs_found == 0
         assert report.pair_set() == set()
+
+
+class TestDegenerateBatchReports:
+    """Edge-case math: empty and instant batches must never divide by zero."""
+
+    def test_empty_batch_report(self):
+        report = BatchReport(outcomes=[], wall_seconds=0.0, max_workers=1)
+        assert report.ok
+        assert report.speedup == 1.0
+        assert report.serial_wall_seconds == 0.0
+        assert report.total_pairs == 0
+        assert report.by_algorithm() == {}
+        assert report.latency_percentiles() == {}
+        summary = report.summary()
+        assert summary["requests"] == 0
+        assert summary["speedup"] == 1.0
+
+    def test_empty_batch_through_executor(self):
+        report = BatchExecutor(max_workers=1).run([])
+        assert report.ok
+        assert report.speedup == 1.0
+        assert report.summary()["requests"] == 0
+
+    def test_instant_batch_speedup_is_neutral(self):
+        # Outcomes whose walls round to zero (a timer too coarse to
+        # resolve them) must not report a 0x "slowdown".
+        from repro.engine.executor import RequestOutcome
+
+        outcomes = [
+            RequestOutcome(index=0, label="instant", wall_seconds=0.0)
+        ]
+        report = BatchReport(
+            outcomes=outcomes, wall_seconds=0.5, max_workers=2
+        )
+        assert report.speedup == 1.0
+
+    def test_latency_percentiles_exclude_failures(self):
+        a, b = dataset_pair("uniform", 60, 60, seed=11)
+        batch = BatchExecutor(max_workers=1).run(
+            [
+                JoinRequest(a, b, "transformers"),
+                JoinRequest(a, b, "no-such-algorithm"),
+            ]
+        )
+        assert len(batch.failures) == 1
+        percentiles = batch.latency_percentiles()
+        assert set(percentiles) == {"TRANSFORMERS"}
+        row = percentiles["TRANSFORMERS"]
+        assert row["count"] == 1
+        assert 0.0 < row["p50_s"] <= row["p99_s"]

@@ -33,6 +33,7 @@ def test_examples_directory_complete():
         "density_robustness.py",
         "index_reuse.py",
         "spatial_queries.py",
+        "service_quickstart.py",
     } <= present
 
 
@@ -62,6 +63,14 @@ def test_index_reuse():
     assert "cumulative cost" in out
     # Three partner rows with a ratio column.
     assert out.count("x") >= 3
+
+
+def test_service_quickstart():
+    out = run_example("service_quickstart.py")
+    assert "cached=False" in out
+    assert "cached=True" in out
+    assert "hit rate 50%" in out
+    assert "served from cache ✓" in out
 
 
 def test_spatial_queries():

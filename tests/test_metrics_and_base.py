@@ -151,3 +151,46 @@ class TestRunDeprecationShim:
             warnings.simplefilter("error")
             result, _, _ = algo.run(None, a, b)
         assert result.stats.pairs_found == 4
+
+
+class TestPercentiles:
+    """Latency-percentile math: exact on samples, harmless on none."""
+
+    def test_nearest_rank_values(self):
+        from repro.metrics import percentile
+
+        values = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 90) == 5.0
+        assert percentile(values, 100) == 5.0
+        assert percentile([7.5], 99) == 7.5
+
+    def test_empty_sample_is_zero_not_an_error(self):
+        from repro.metrics import latency_summary, percentile
+
+        assert percentile([], 50) == 0.0
+        summary = latency_summary([])
+        assert summary == {
+            "count": 0.0,
+            "mean_s": 0.0,
+            "p50_s": 0.0,
+            "p90_s": 0.0,
+            "p99_s": 0.0,
+        }
+
+    def test_rank_out_of_range_rejected(self):
+        from repro.metrics import percentile
+
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_summary_is_ordered(self):
+        from repro.metrics import latency_summary
+
+        summary = latency_summary([0.4, 0.1, 0.9, 0.2])
+        assert summary["count"] == 4.0
+        assert summary["mean_s"] == pytest.approx(0.4)
+        assert summary["p50_s"] <= summary["p90_s"] <= summary["p99_s"]

@@ -1,0 +1,205 @@
+"""Concurrency stress: one shared service, many threads, mixed traffic.
+
+The service's claim is that a single long-lived instance can absorb
+concurrent mixed join/range traffic over overlapping dataset names
+with (1) no cross-request state leakage — every response carries
+exactly the result its request asked for, byte-identical to a serial
+execution — and (2) coherent counters: every join submission is
+exactly one cache hit or one cache miss.
+
+Deterministic under ``-p no:randomly``: all schedules derive from
+fixed seeds; thread interleaving varies between runs, but every
+assertion is interleaving-invariant.
+"""
+
+import pickle
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datagen import scaled_space, uniform_dataset
+from repro.engine import JoinRequest
+from repro.geometry.box import Box
+from repro.service import SpatialQueryService
+
+N_THREADS = 6
+OPS_PER_THREAD = 14
+
+NAMES = ("alpha", "beta", "gamma")
+ALGORITHMS = ("transformers", "pbsm")
+
+
+def build_datasets():
+    space = scaled_space(450)
+    return space, {
+        name: uniform_dataset(
+            150, seed=11 + i, name=name, id_offset=i * 10**9, space=space
+        )
+        for i, name in enumerate(NAMES)
+    }
+
+
+def make_service(datasets, **kwargs):
+    service = SpatialQueryService(**kwargs)
+    for name, dataset in datasets.items():
+        service.register(name, dataset)
+    return service
+
+
+def operations(space):
+    """The full operation vocabulary: joins + range probes."""
+    ops = []
+    for name_a in NAMES:
+        for name_b in NAMES:
+            if name_a < name_b:
+                for algorithm in ALGORITHMS:
+                    ops.append(("join", name_a, name_b, algorithm))
+    lo, hi = np.asarray(space.lo), np.asarray(space.hi)
+    for i, frac in enumerate((0.25, 0.5, 0.75)):
+        probe = Box(tuple(lo), tuple(lo + (hi - lo) * frac))
+        ops.append(("range", NAMES[i], probe))
+    return ops
+
+
+def run_op(service, op):
+    """Execute one operation; return a comparable result payload."""
+    if op[0] == "join":
+        _, name_a, name_b, algorithm = op
+        response = service.submit(JoinRequest(name_a, name_b, algorithm))
+        response.raise_for_failure()
+        return pickle.dumps(
+            np.sort(response.report.result.pairs, axis=0)
+        )
+    _, name, probe = op
+    return pickle.dumps(np.sort(service.range_query(name, probe)))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Serial ground truth: op -> result payload, from a fresh service."""
+    space, datasets = build_datasets()
+    service = make_service(datasets)
+    ops = operations(space)
+    return space, datasets, {repr(op): run_op(service, op) for op in ops}
+
+
+def test_threaded_mixed_workload_matches_serial(reference):
+    space, datasets, expected = reference
+    service = make_service(datasets)
+    ops = operations(space)
+
+    results: list[list[tuple[str, bytes]]] = [[] for _ in range(N_THREADS)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(thread_index: int) -> None:
+        rng = random.Random(1000 + thread_index)
+        schedule = [rng.choice(ops) for _ in range(OPS_PER_THREAD)]
+        try:
+            barrier.wait(timeout=30)
+            for op in schedule:
+                results[thread_index].append((repr(op), run_op(service, op)))
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+
+    # (1) No cross-request state leakage: every response matches the
+    # serial execution of exactly the operation that was submitted.
+    join_count = 0
+    for per_thread in results:
+        assert len(per_thread) == OPS_PER_THREAD
+        for op_repr, payload in per_thread:
+            assert payload == expected[op_repr], op_repr
+            join_count += op_repr.startswith("('join'")
+
+    # (2) Counter coherence under concurrency.
+    stats = service.stats()
+    assert stats.requests == join_count
+    assert stats.cache_hits + stats.cache_misses == stats.requests
+    assert stats.failures == 0
+    assert stats.range_requests == N_THREADS * OPS_PER_THREAD - join_count
+    # Every distinct join key misses at least once.  A key can miss at
+    # most once per thread: threads are sequential, so a thread's
+    # second submission of a key always finds its own first execution
+    # completed and cached (concurrent *other* threads may still race
+    # the first one, hence the N_THREADS factor rather than 1).
+    distinct_joins = sum(op[0] == "join" for op in ops)
+    assert distinct_joins <= stats.cache_misses <= N_THREADS * distinct_joins
+    assert stats.cache_hits > 0  # in-thread repeats are guaranteed hits
+
+
+def test_concurrent_registration_and_submission_stay_coherent():
+    """Rebinding a name mid-traffic never corrupts served results.
+
+    Every served report must correspond to *some* registered version
+    of the data (old or new — the service makes no ordering promise),
+    never to a mix of the two.
+    """
+    space, datasets = build_datasets()
+    service = make_service(datasets)
+
+    versions = [
+        datasets["beta"],
+        uniform_dataset(
+            150, seed=210, name="beta", id_offset=10**9, space=space
+        ),
+    ]
+    valid = set()
+    for version in versions:
+        report = (
+            SpatialQueryService()
+            .submit(JoinRequest(datasets["alpha"], version, "transformers"))
+            .report
+        )
+        valid.add(pickle.dumps(np.sort(report.result.pairs, axis=0)))
+
+    served: list[bytes] = []
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(2)
+
+    def submitter() -> None:
+        try:
+            barrier.wait(timeout=30)
+            for _ in range(12):
+                response = service.submit(
+                    JoinRequest("alpha", "beta", "transformers")
+                )
+                response.raise_for_failure()
+                served.append(
+                    pickle.dumps(
+                        np.sort(response.report.result.pairs, axis=0)
+                    )
+                )
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def rebinder() -> None:
+        try:
+            barrier.wait(timeout=30)
+            for i in range(6):
+                service.register("beta", versions[i % 2])
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=submitter),
+        threading.Thread(target=rebinder),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+    assert served and set(served) <= valid
+    stats = service.stats()
+    assert stats.cache_hits + stats.cache_misses == stats.requests == 12
