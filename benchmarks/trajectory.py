@@ -44,7 +44,14 @@ The comparison fails (exit code 1) when
   with them;
 * the service layer's result cache stops serving repeated joins
   byte-identically, deflects no traffic, or falls below
-  ``--min-cache-speedup`` (default 20×) warm-vs-cold.
+  ``--min-cache-speedup`` (default 20×) warm-vs-cold;
+* the cost-based planner misbehaves: ``"auto"`` lands more than
+  ``--max-planner-regret`` (default 1.5×) above the best candidate's
+  executed cost on a pinned workload trio, the pair estimate leaves
+  its documented error band, sketch-build + planning overhead exceeds
+  ``--max-planner-overhead`` (default 5 %) of a cold join, or any
+  deterministic planner field (chosen algorithm, estimates, executed
+  candidate costs) drifts from the baseline.
 """
 
 from __future__ import annotations
@@ -72,7 +79,7 @@ from repro.joins.plane_sweep import (  # noqa: E402
     plane_sweep_join_reference,
 )
 
-SCHEMA_VERSION = 2  # v2: adds the "service" result-cache section
+SCHEMA_VERSION = 3  # v3: adds the "planner" cost-based-planning section
 
 #: The pinned suite: experiment name -> harness entry point.
 SUITE = {
@@ -221,6 +228,178 @@ def measure_service(scale: float) -> dict:
     }
 
 
+def measure_planner(scale: float) -> dict:
+    """Cost-based planner health: overhead, estimate accuracy, regret.
+
+    Three pinned workloads — Table I uniform, the Fig. 11 clustered
+    pair, and a past-the-ratio-gate contrast pair — are planned with
+    ``explain=True`` and then *every* costed candidate is executed, so
+    the recorded regret (executed cost of auto's choice over the best
+    candidate's) is a measured number, not a prediction.  Sketch-build
+    and planning walls are recorded against a cold join on the largest
+    workload; the deterministic fields (chosen algorithm, estimates,
+    executed candidate costs) are exact functions of the pinned seeds
+    and are diffed against the baseline like experiment counters.
+
+    The section measures the statistics planner itself, so
+    ``REPRO_PLANNER_STATS`` is forced on for its duration (like the
+    worker pin at module import): an ambient ``=0`` must not silently
+    skip the gate or crash the run.
+    """
+    previous = os.environ.get("REPRO_PLANNER_STATS")
+    os.environ["REPRO_PLANNER_STATS"] = "1"
+    try:
+        return _measure_planner_inner(scale)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_PLANNER_STATS", None)
+        else:
+            os.environ["REPRO_PLANNER_STATS"] = previous
+
+
+def _measure_planner_inner(scale: float) -> dict:
+    from repro.datagen import dense_cluster, uniform_cluster
+    from repro.engine import SpatialWorkspace, plan_join
+    from repro.stats import build_sketch, within_error_band
+
+    n_uniform = scale_counts([14_000], scale)[0]
+    space_u = scaled_space(2 * n_uniform)
+    total_c = scale_counts([20_000], scale)[0]
+    space_c = scaled_space(total_c)
+    n_small, n_big = scale_counts([200, 20_000], scale)
+    space_k = scaled_space(n_small + n_big)
+    workloads = [
+        (
+            "table1-uniform",
+            uniform_dataset(n_uniform, seed=31, name="uniformA", space=space_u),
+            uniform_dataset(
+                n_uniform, seed=32, name="uniformB", id_offset=10**9,
+                space=space_u,
+            ),
+        ),
+        (
+            "fig11-clustered",
+            dense_cluster(total_c // 2, seed=21, name="dense", space=space_c),
+            uniform_cluster(
+                total_c - total_c // 2, seed=22, name="unifclust",
+                id_offset=10**9, space=space_c,
+            ),
+        ),
+        (
+            "contrast-100x",
+            uniform_dataset(n_small, seed=41, name="sparse", space=space_k),
+            uniform_dataset(
+                n_big, seed=42, name="dense", id_offset=10**9, space=space_k
+            ),
+        ),
+    ]
+
+    rows = []
+    overhead = None
+    for label, a, b in workloads:
+        sketch_s, (sketch_a, sketch_b) = _time(
+            lambda: (build_sketch(a), build_sketch(b))
+        )
+        plan_s, report = _time(
+            lambda: plan_join(
+                a, b, "auto", explain=True, sketches=(sketch_a, sketch_b)
+            )
+        )
+        executed = {}
+        for candidate in report.candidates:
+            run = SpatialWorkspace().join(a, b, algorithm=candidate.algorithm)
+            executed[candidate.algorithm] = run
+        best_algorithm = min(
+            executed, key=lambda alg: executed[alg].total_cost()
+        )
+        best_cost = executed[best_algorithm].total_cost()
+        chosen_cost = executed[report.algorithm].total_cost()
+        actual_pairs = executed[report.algorithm].pairs_found
+        rows.append(
+            {
+                "workload": label,
+                "n_a": len(a),
+                "n_b": len(b),
+                "chosen": report.algorithm,
+                "best": best_algorithm,
+                "regret": round(chosen_cost / max(best_cost, 1e-9), 3),
+                "est_pairs": round(report.est_pairs, 1),
+                "actual_pairs": int(actual_pairs),
+                "within_band": bool(
+                    within_error_band(
+                        report.est_pairs, actual_pairs, report.error_band
+                    )
+                ),
+                "error_band": report.error_band,
+                "candidate_costs": {
+                    c.algorithm: {
+                        "predicted": c.total,
+                        "executed": round(
+                            executed[c.algorithm].total_cost(), 1
+                        ),
+                    }
+                    for c in report.candidates
+                },
+                "sketch_build_s": round(sketch_s, 6),
+                "plan_s": round(plan_s, 6),
+            }
+        )
+    return {
+        "workloads": rows,
+        "max_regret": max(r["regret"] for r in rows),
+        "all_within_band": all(r["within_band"] for r in rows),
+        "overhead": _measure_planner_overhead(),
+    }
+
+
+def _measure_planner_overhead() -> dict:
+    """Sketch+planning share of a cold join, at the full Table I size.
+
+    Measured at n=14,000 per side in *every* profile: at smoke sizes a
+    join finishes in milliseconds and the share would measure the
+    interpreter's fixed costs, not the subsystem.  The full size is
+    the amortized regime the <5% contract is about, and one extra
+    cold join keeps even the smoke profile cheap.
+    """
+    from repro.engine import SpatialWorkspace, plan_join
+    from repro.stats import build_sketch
+
+    n = 14_000
+    space = scaled_space(2 * n)
+    a = uniform_dataset(n, seed=31, name="uniformA", space=space)
+    b = uniform_dataset(
+        n, seed=32, name="uniformB", id_offset=10**9, space=space
+    )
+    sketch_s, (sketch_a, sketch_b) = _time(
+        lambda: (build_sketch(a), build_sketch(b))
+    )
+    plan_s, _ = _time(
+        lambda: plan_join(
+            a, b, "auto", explain=True, sketches=(sketch_a, sketch_b)
+        )
+    )
+    cold_s, _ = _time(
+        lambda: SpatialWorkspace().join(a, b, algorithm="transformers"),
+        repeats=1,
+    )
+    return {
+        "n_per_side": n,
+        "sketch_build_s": round(sketch_s, 6),
+        "plan_s": round(plan_s, 6),
+        "cold_join_s": round(cold_s, 6),
+        "share": round((sketch_s + plan_s) / max(cold_s, 1e-9), 4),
+    }
+
+
+#: Planner-section row fields that are deterministic functions of the
+#: pinned seeds (wall-clock fields are machine-dependent).
+_PLANNER_DETERMINISTIC_FIELDS = (
+    "workload", "n_a", "n_b", "chosen", "best", "regret",
+    "est_pairs", "actual_pairs", "within_band", "error_band",
+    "candidate_costs",
+)
+
+
 def run_profile(name: str) -> dict:
     """Run the pinned suite plus filter-phase and service measurements."""
     scale = PROFILES[name]
@@ -247,6 +426,13 @@ def run_profile(name: str) -> dict:
         f"[{name}] service cache @ n={sv['n_per_side']}: "
         f"{sv['speedup']}x warm-vs-cold, byte_identical="
         f"{sv['byte_identical']}"
+    )
+    out["planner"] = measure_planner(scale)
+    pl = out["planner"]
+    print(
+        f"[{name}] planner: max regret {pl['max_regret']}x, "
+        f"within_band={pl['all_within_band']}, "
+        f"overhead {pl['overhead']['share']:.2%} of a cold join"
     )
     return out
 
@@ -276,6 +462,8 @@ def compare_profile(
     wall_tolerance: float,
     min_filter_speedup: float,
     min_cache_speedup: float,
+    max_planner_regret: float = 1.5,
+    max_planner_overhead: float = 0.05,
 ) -> list[str]:
     """Failures of ``current`` against ``baseline`` (empty = pass)."""
     failures: list[str] = []
@@ -347,6 +535,49 @@ def compare_profile(
             failures.append(
                 f"{profile}: service result cache deflected no traffic"
             )
+
+    # Planner gate: measured regret, estimate band and overhead of the
+    # *current* run, plus deterministic drift against the baseline
+    # (tolerated as absent in pre-planner baselines).
+    planner = current.get("planner")
+    if planner is not None:
+        if planner["max_regret"] > max_planner_regret:
+            failures.append(
+                f"{profile}: auto-vs-best planner regret "
+                f"{planner['max_regret']}x exceeds the "
+                f"{max_planner_regret}x bound"
+            )
+        if not planner["all_within_band"]:
+            failures.append(
+                f"{profile}: a pair estimate left its documented error "
+                "band"
+            )
+        if planner["overhead"]["share"] > max_planner_overhead:
+            failures.append(
+                f"{profile}: sketch+planning overhead "
+                f"{planner['overhead']['share']:.2%} exceeds "
+                f"{max_planner_overhead:.0%} of a cold join"
+            )
+        base_planner = baseline.get("planner")
+        if base_planner is not None:
+            cur_rows = [
+                {k: r[k] for k in _PLANNER_DETERMINISTIC_FIELDS}
+                for r in planner["workloads"]
+            ]
+            base_rows = [
+                {
+                    k: r[k]
+                    for k in _PLANNER_DETERMINISTIC_FIELDS
+                    if k in r
+                }
+                for r in base_planner["workloads"]
+            ]
+            if cur_rows != base_rows:
+                failures.append(
+                    f"{profile}/planner: deterministic planning fields "
+                    "(chosen algorithm, estimates, executed candidate "
+                    "costs) drifted from the baseline"
+                )
     return failures
 
 
@@ -384,6 +615,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="required warm-vs-cold speedup of the service result cache "
         "(default 20.0)",
     )
+    parser.add_argument(
+        "--max-planner-regret", type=float, default=1.5,
+        help="allowed executed-cost ratio between auto's choice and the "
+        "best candidate (default 1.5)",
+    )
+    parser.add_argument(
+        "--max-planner-overhead", type=float, default=0.05,
+        help="allowed sketch+planning share of a cold join's wall-clock "
+        "(default 0.05)",
+    )
     args = parser.parse_args(argv)
 
     names = list(PROFILES) if args.profile == "all" else [args.profile]
@@ -412,7 +653,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 compare_profile(
                     result["profiles"][name], base_profile, name,
                     args.wall_tolerance, args.min_filter_speedup,
-                    args.min_cache_speedup,
+                    args.min_cache_speedup, args.max_planner_regret,
+                    args.max_planner_overhead,
                 )
             )
         if failures:

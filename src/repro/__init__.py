@@ -21,6 +21,10 @@ Public API tour:
   :class:`~repro.joins.GipsyJoin`,
   :class:`~repro.joins.IndexedNestedLoopJoin`, and the exact
   :class:`~repro.joins.BruteForceJoin` oracle;
+* **statistics** — :mod:`repro.stats`, the layer the planner plans
+  from: :class:`~repro.stats.DatasetSketch` density sketches and the
+  selectivity/cost estimators behind cost-based ``algorithm="auto"``
+  resolution and ``plan_join(..., explain=True)``;
 * **substrates** — :mod:`repro.geometry` (boxes, Hilbert curves,
   cylinders), :mod:`repro.storage` (simulated disk, buffer pool),
   :mod:`repro.index` (STR, R-tree, B+-tree, grids);
@@ -59,10 +63,12 @@ from repro.engine import (
     BatchReport,
     DatasetSpec,
     JoinRequest,
+    PlanReport,
     RunReport,
     SpatialWorkspace,
     available_algorithms,
     plan_join,
+    plan_join_sketched,
     register_algorithm,
 )
 from repro.datagen import (
@@ -96,9 +102,14 @@ from repro.service import (
     SpatialQueryService,
     dataset_fingerprint,
 )
+from repro.stats import (
+    DatasetSketch,
+    build_sketch,
+    estimate_pairs,
+)
 from repro.storage import BufferPool, DiskModel, SimulatedDisk
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -111,8 +122,14 @@ __all__ = [
     "DatasetSpec",
     "available_algorithms",
     "plan_join",
+    "plan_join_sketched",
+    "PlanReport",
     "register_algorithm",
     "range_query",
+    # stats (the layer the planner plans from)
+    "DatasetSketch",
+    "build_sketch",
+    "estimate_pairs",
     # service (long-lived front-end: catalog + result cache)
     "SpatialQueryService",
     "ServiceResponse",

@@ -44,6 +44,8 @@ from repro.core.walk import adaptive_walk
 from repro.geometry.boxes import BoxArray
 from repro.geometry.hilbert import hilbert_index_batch
 from repro.joins.base import (
+    CostBreakdown,
+    CostProfile,
     Dataset,
     JoinResult,
     JoinStats,
@@ -107,6 +109,31 @@ class TransformersJoin(SpatialJoinAlgorithm):
             raise ValueError("both indexes must live on the same disk")
         driver = _Driver(self.config, index_a, index_b, self.name)
         return driver.run()
+
+    def estimate_join_cost(self, profile: CostProfile) -> CostBreakdown:
+        """Predicted cost (calibrated on the pinned uniform suite).
+
+        Indexing streams both datasets into space units plus a thin
+        descriptor hierarchy: ~1.1 writes per data page plus a small
+        constant.  The join touches only *active* pages (the adaptive
+        exploration skips regions without partner mass) with a
+        predominantly sequential pattern: the pinned Table I runs
+        measure ≈1.15 sequential + 0.2 random reads per active page.
+        Comparisons include metadata tests; ~0.7× the space-unit
+        collision estimate matches the measured counter.
+        """
+        index_io = (1.1 * profile.pages_total + 25.0) * profile.write_cost
+        blend = 1.15 * profile.seq_read_cost + 0.2 * profile.random_read_cost
+        join_io = blend * profile.active_pages_total
+        unit_side = profile.partition_side(profile.page_capacity)
+        est_tests = 0.7 * profile.collision(unit_side)
+        join_cpu = est_tests * profile.intersection_test_cost
+        return CostBreakdown(
+            index_io=index_io,
+            join_io=join_io,
+            join_cpu=join_cpu,
+            est_tests=est_tests,
+        )
 
 
 class _Driver:

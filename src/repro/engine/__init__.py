@@ -43,9 +43,12 @@ from repro.engine.planner import (
     EXPERIMENT_PAGE_SIZE,
     JoinPlan,
     PlanHints,
+    PlanReport,
     experiment_disk_model,
     pbsm_resolution,
     plan_join,
+    plan_join_sketched,
+    planner_stats_enabled,
 )
 from repro.engine.registry import (
     AlgorithmSpec,
@@ -69,7 +72,10 @@ __all__ = [
     "derive_seed",
     "JoinPlan",
     "PlanHints",
+    "PlanReport",
     "plan_join",
+    "plan_join_sketched",
+    "planner_stats_enabled",
     "AlgorithmSpec",
     "algorithm_spec",
     "available_algorithms",

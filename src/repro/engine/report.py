@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.planner import JoinPlan
+from repro.engine.planner import JoinPlan, PlanReport
 from repro.joins.base import CostModel, JoinResult, JoinStats
 
 
@@ -37,6 +37,11 @@ class RunReport:
     index_pages_written_a: int = 0
     index_pages_written_b: int = 0
     cost_model: CostModel = field(default_factory=CostModel)
+    #: The explainable planning decision (candidate costs, selectivity
+    #: estimate, error band).  Populated whenever the statistics layer
+    #: planned this join — ``algorithm="auto"`` with stats enabled, or
+    #: any registry name under ``join(..., explain=True)``.
+    plan_report: PlanReport | None = None
 
     # ------------------------------------------------------------------
     # Result access

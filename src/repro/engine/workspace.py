@@ -35,8 +35,10 @@ from repro.core.query import range_query as _transformers_range_query
 from repro.engine.planner import (
     JoinPlan,
     PlanHints,
+    PlanReport,
     experiment_disk_model,
     plan_join,
+    planner_stats_enabled,
 )
 from repro.engine.registry import algorithm_spec, spec_for_instance
 from repro.engine.report import RunReport
@@ -152,6 +154,14 @@ class SpatialWorkspace:
             OrderedDict()
         )
         self._evictions = 0
+        #: Dataset sketches cached alongside indexes (same LRU bound):
+        #: planning the same dataset again reuses its statistics
+        #: instead of re-scanning the boxes.  Entries pin the dataset
+        #: object too — id()-keying is only safe while the keyed object
+        #: stays alive (same invariant :class:`_CachedIndex` documents).
+        self._sketches: OrderedDict[int, tuple[Dataset, object]] = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -202,21 +212,52 @@ class SpatialWorkspace:
         """Cache entries evicted by the LRU bound so far."""
         return self._evictions
 
+    @property
+    def cached_sketch_count(self) -> int:
+        """Number of dataset sketches currently held by the cache."""
+        return len(self._sketches)
+
+    def sketch_for(self, dataset: Dataset):
+        """The (cached or freshly built) statistics sketch of a dataset.
+
+        Sketches live beside indexes under the same LRU bound and are
+        invalidated together by :meth:`forget`; the cost-based planner
+        pulls them from here, so repeated ``"auto"`` joins over the
+        same datasets never re-scan the boxes.
+        """
+        from repro.stats.sketch import build_sketch
+
+        key = id(dataset)
+        entry = self._sketches.get(key)
+        if entry is not None and entry[0] is dataset:
+            self._sketches.move_to_end(key)
+            return entry[1]
+        sketch = build_sketch(dataset)
+        self._sketches[key] = (dataset, sketch)
+        if self.max_cached_indexes is not None:
+            while len(self._sketches) > self.max_cached_indexes:
+                self._sketches.popitem(last=False)
+        return sketch
+
     def drop_indexes(self) -> None:
         """Forget every cached index (pages stay allocated on disk).
 
         Explicit drops are not counted as evictions.
         """
         self._cache.clear()
+        self._sketches.clear()
 
     def forget(self, dataset: Dataset | str) -> int:
-        """Drop every cached index of one dataset; return how many.
+        """Drop every cached index (and sketch) of one dataset.
 
-        Accepts the dataset object itself or an adopted index's name.
-        Used by the service layer when a catalog name is re-bound to
-        new data: the old dataset's indexes would otherwise pin stale
-        arrays until LRU pressure happens to evict them.  Explicit
-        drops are not counted as evictions.
+        Accepts the dataset object itself or an adopted index's name;
+        returns how many index entries were dropped.  Sketches exist
+        only for concrete ``Dataset`` objects (adopted names carry an
+        index, never statistics), so the name form has no sketch to
+        drop.  Used by the service layer when a catalog name is
+        re-bound to new data: the old dataset's indexes and statistics
+        would otherwise pin stale arrays until LRU pressure happens to
+        evict them.  Explicit drops are not counted as evictions.
         """
         dataset_key: object = (
             dataset if isinstance(dataset, str) else id(dataset)
@@ -224,6 +265,8 @@ class SpatialWorkspace:
         doomed = [key for key in self._cache if key[0] == dataset_key]
         for key in doomed:
             del self._cache[key]
+        if not isinstance(dataset, str):
+            self._sketches.pop(id(dataset), None)
         return len(doomed)
 
     def _cache_store(self, key: tuple[object, str], entry: _CachedIndex) -> None:
@@ -247,6 +290,7 @@ class SpatialWorkspace:
         space: Box | None = None,
         parameters: dict[str, object] | None = None,
         reuse_indexes: bool = True,
+        explain: bool = False,
     ) -> RunReport:
         """Join two datasets and return a structured :class:`RunReport`.
 
@@ -256,25 +300,49 @@ class SpatialWorkspace:
         :class:`SpatialJoinAlgorithm` instance.  ``space`` and
         ``parameters`` are forwarded to the planner.
 
+        ``"auto"`` resolves through the cost-based planner by default
+        (see :func:`~repro.engine.planner.plan_join`); the resulting
+        :class:`~repro.engine.planner.PlanReport` — candidate costs,
+        selectivity estimate, error band — rides on
+        ``report.plan_report``.  ``explain=True`` requests the same
+        report for an explicitly named algorithm, costing the whole
+        candidate field for comparison.
+
         Raises ``ValueError`` if the two datasets share element ids:
         the join result pairs ids up, so overlapping id spaces would
         silently corrupt pair semantics.
         """
         self._validate_disjoint_ids(a, b)
         plan: JoinPlan | None = None
+        plan_report: PlanReport | None = None
         if isinstance(algorithm, str):
-            plan = plan_join(
+            use_stats = planner_stats_enabled()
+            want_report = explain or (
+                algorithm.strip().lower() == "auto" and use_stats
+            )
+            sketches = None
+            if want_report and use_stats and len(a) > 0 and len(b) > 0:
+                sketches = (self.sketch_for(a), self.sketch_for(b))
+            planned = plan_join(
                 a, b, algorithm, space=space,
                 page_size=self.page_size, parameters=parameters,
+                explain=want_report, sketches=sketches,
+                disk_model=self.disk.model, cost_model=self.cost_model,
             )
+            if isinstance(planned, PlanReport):
+                plan_report = planned
+                plan = planned.plan
+            else:
+                plan = planned
             algo = plan.create()
             reusable = algorithm_spec(plan.algorithm).reusable_index
         else:
-            if space is not None or parameters:
+            if space is not None or parameters or explain:
                 raise ValueError(
-                    "space/parameters are planner inputs and have no "
-                    "effect on a pre-configured instance; configure "
-                    "the instance directly or pass a registry name"
+                    "space/parameters/explain are planner inputs and "
+                    "have no effect on a pre-configured instance; "
+                    "configure the instance directly or pass a "
+                    "registry name"
                 )
             algo = algorithm
             spec = spec_for_instance(algo)
@@ -284,7 +352,7 @@ class SpatialWorkspace:
         # algorithms (reasonably) refuse to index zero elements, so the
         # degenerate case is normalised here at the engine boundary.
         if len(a) == 0 or len(b) == 0:
-            return self._empty_report(algo, a, b, plan)
+            return self._empty_report(algo, a, b, plan, plan_report)
 
         handle_a, build_a, reused_a, written_a = self._index(
             algo, a, reuse=reuse_indexes and reusable
@@ -310,6 +378,7 @@ class SpatialWorkspace:
             index_pages_written_a=written_a,
             index_pages_written_b=written_b,
             cost_model=self.cost_model,
+            plan_report=plan_report,
         )
 
     def _empty_report(
@@ -318,6 +387,7 @@ class SpatialWorkspace:
         a: Dataset,
         b: Dataset,
         plan: JoinPlan | None,
+        plan_report: PlanReport | None = None,
     ) -> RunReport:
         """The (empty) result of joining against an empty dataset."""
         from repro.joins.base import JoinResult
@@ -336,6 +406,7 @@ class SpatialWorkspace:
             build_b=JoinStats(algorithm=algo.name, phase="index"),
             plan=plan,
             cost_model=self.cost_model,
+            plan_report=plan_report,
         )
 
     # ------------------------------------------------------------------

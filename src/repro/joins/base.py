@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import warnings
 from abc import ABC, abstractmethod
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -172,6 +172,95 @@ def canonical_pairs(pairs: np.ndarray) -> np.ndarray:
     return np.unique(pairs, axis=0)
 
 
+@dataclass(frozen=True)
+class CostProfile:
+    """Workload statistics handed to the per-algorithm cost hooks.
+
+    Built by :func:`repro.stats.estimate.build_cost_profile` from two
+    :class:`~repro.stats.sketch.DatasetSketch` objects plus the
+    planner's storage parameters, and consumed by
+    :meth:`SpatialJoinAlgorithm.estimate_join_cost` implementations.
+    All quantities are *estimates about the pair*, not measurements:
+    the hooks combine them with per-algorithm calibration constants
+    into predicted index/join costs in the same simulated-time units
+    the reports use.
+    """
+
+    n_a: int
+    n_b: int
+    ndim: int
+    #: Leaf data pages each side occupies at ``page_capacity``.
+    pages_a: int
+    pages_b: int
+    #: Elements per data page (:func:`~repro.storage.page.element_page_capacity`).
+    page_capacity: int
+    #: Volume of the pair's shared space.
+    space_volume: float
+    #: Per-page costs of the simulated disk.
+    seq_read_cost: float
+    random_read_cost: float
+    write_cost: float
+    #: Per-comparison CPU costs of the report cost model.
+    intersection_test_cost: float
+    metadata_test_cost: float
+    #: Estimated result pairs (the selectivity estimate).
+    est_pairs: float
+    #: Expected pages of each side located where the *other* side has
+    #: mass — the pages a data-adaptive join actually needs to touch.
+    #: Balanced pairs saturate at ``pages_x``; a tiny outer side pins
+    #: these near its own cardinality.
+    active_pages_a: float
+    active_pages_b: float
+    #: ``collision(extra)`` estimates candidate pairs when every
+    #: element is dilated by ``extra`` per axis — ``collision(0.0)``
+    #: is the pair estimate, ``collision(cell_side)`` approximates the
+    #: comparisons a partitioning with that cell side performs.
+    collision: Callable[[float], float]
+    #: The planner's PBSM grid resolution for this pair.
+    resolution: int
+
+    @property
+    def pages_total(self) -> int:
+        """Data pages of both sides together."""
+        return self.pages_a + self.pages_b
+
+    @property
+    def active_pages_total(self) -> float:
+        """Co-located pages of both sides together."""
+        return self.active_pages_a + self.active_pages_b
+
+    @property
+    def n_outer(self) -> int:
+        """Cardinality of the smaller (outer/probing) side."""
+        return min(self.n_a, self.n_b)
+
+    @property
+    def pages_inner(self) -> int:
+        """Data pages of the larger (inner/indexed) side."""
+        return max(self.pages_a, self.pages_b)
+
+    def partition_side(self, per_elements: float) -> float:
+        """Side length of a cube holding ``per_elements`` at pair density."""
+        n_total = max(self.n_a + self.n_b, 1)
+        volume = per_elements * self.space_volume / n_total
+        return float(max(volume, 1e-12) ** (1.0 / self.ndim))
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One algorithm's predicted cost for one pair (simulated time)."""
+
+    index_io: float
+    join_io: float
+    join_cpu: float
+    est_tests: float
+
+    @property
+    def total(self) -> float:
+        """Predicted end-to-end cost: indexing plus join I/O plus CPU."""
+        return self.index_io + self.join_io + self.join_cpu
+
+
 #: Process-wide flag so the :meth:`SpatialJoinAlgorithm.run` deprecation
 #: warning fires exactly once, however many call sites still use the shim.
 _RUN_DEPRECATION_EMITTED = False
@@ -207,6 +296,25 @@ class SpatialJoinAlgorithm(ABC):
     @abstractmethod
     def join(self, index_a: object, index_b: object) -> JoinResult:
         """Join two datasets previously indexed by this algorithm."""
+
+    # ------------------------------------------------------------------
+    # Cost hook (optional)
+    # ------------------------------------------------------------------
+    def estimate_join_cost(self, profile: CostProfile) -> CostBreakdown | None:
+        """Predicted cost of running this algorithm on ``profile``.
+
+        The cost-based planner (:func:`~repro.engine.planner.plan_join`
+        with ``algorithm="auto"``) calls this hook on every plannable
+        candidate and picks the cheapest prediction.  Returning
+        ``None`` (the default) opts the algorithm out of cost-based
+        selection — it stays runnable by explicit name.
+
+        Implementations should derive the prediction from the profile's
+        page counts, co-location masses and collision estimates; the
+        shipped hooks document their calibration against the pinned
+        benchmark suite.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Partition-parallel protocol (optional)

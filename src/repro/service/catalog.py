@@ -11,7 +11,13 @@ fingerprint (:func:`~repro.service.fingerprint.dataset_fingerprint`):
   keyed caches, like the workspace index cache, stay hot);
 * registering a name with *changed* content bumps the entry's version,
   which is the signal the service uses to invalidate exactly the
-  results computed from the old content.
+  results computed from the old content;
+* each distinct fingerprint also gets a
+  :class:`~repro.stats.DatasetSketch` built once at registration and
+  stored *under the fingerprint* — the service plans joins over
+  registered names from these few-KB statistics without touching the
+  raw data again, and aliases (two names, same content) share one
+  sketch.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.joins.base import Dataset
 from repro.service.fingerprint import dataset_fingerprint
+from repro.stats.sketch import DatasetSketch, build_sketch
 
 
 @dataclass(frozen=True)
@@ -44,6 +51,9 @@ class DatasetCatalog:
 
     def __init__(self) -> None:
         self._entries: dict[str, CatalogEntry] = {}
+        #: Fingerprint -> sketch: one set of statistics per distinct
+        #: content, shared by every alias bound to it.
+        self._sketches: dict[str, DatasetSketch] = {}
 
     def register(self, name: str, dataset: Dataset) -> CatalogEntry:
         """Bind ``name`` to ``dataset``; returns the current entry.
@@ -51,7 +61,9 @@ class DatasetCatalog:
         Equal content (same fingerprint) keeps the existing entry —
         including the originally registered object, so identity-keyed
         index caches remain valid.  Changed content replaces the entry
-        with a bumped version.
+        with a bumped version.  New content gets its statistics sketch
+        built here, once; sketches of content no longer served by any
+        name are dropped.
         """
         if not isinstance(name, str) or not name.strip():
             raise ValueError("dataset name must be a non-empty string")
@@ -71,7 +83,26 @@ class DatasetCatalog:
             version=1 if old is None else old.version + 1,
         )
         self._entries[name] = entry
+        if fingerprint not in self._sketches:
+            self._sketches[fingerprint] = build_sketch(dataset)
+        if old is not None:
+            self._prune_sketch(old.fingerprint)
         return entry
+
+    def sketch_for(self, name: str) -> DatasetSketch:
+        """The stored sketch of the content currently bound to ``name``."""
+        return self._sketches[self.resolve(name).fingerprint]
+
+    def sketch_by_fingerprint(
+        self, fingerprint: str
+    ) -> DatasetSketch | None:
+        """The sketch stored under a content fingerprint, if any."""
+        return self._sketches.get(fingerprint)
+
+    def _prune_sketch(self, fingerprint: str) -> None:
+        """Drop a fingerprint's sketch once no name serves it."""
+        if not self.names_bound_to(fingerprint):
+            self._sketches.pop(fingerprint, None)
 
     def resolve(self, name: str) -> CatalogEntry:
         """The entry bound to ``name``; raises ``KeyError`` otherwise."""
@@ -88,9 +119,14 @@ class DatasetCatalog:
         return self._entries.get(name)
 
     def unregister(self, name: str) -> CatalogEntry:
-        """Remove and return the entry bound to ``name``."""
+        """Remove and return the entry bound to ``name``.
+
+        The content's sketch is dropped with it unless another name
+        still serves the same fingerprint.
+        """
         entry = self.resolve(name)
         del self._entries[name]
+        self._prune_sketch(entry.fingerprint)
         return entry
 
     def names(self) -> tuple[str, ...]:

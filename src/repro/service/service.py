@@ -57,6 +57,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.executor import BatchExecutor, JoinRequest
+from repro.engine.planner import PlanReport, plan_join_sketched
 from repro.engine.report import RunReport
 from repro.engine.workspace import SpatialWorkspace
 from repro.geometry.box import Box
@@ -193,6 +194,13 @@ class SpatialQueryService:
         self._range_requests = 0
         self._failures = 0
         self._latencies: dict[str, _LatencyRecord] = {}
+        # Estimator accuracy: predicted vs actual work of every miss
+        # the statistics layer planned (``algorithm="auto"``).
+        self._estimator_predictions = 0
+        self._predicted_pairs = 0.0
+        self._actual_pairs = 0
+        self._predicted_tests = 0.0
+        self._actual_tests = 0
 
     # ------------------------------------------------------------------
     # Catalog
@@ -230,6 +238,74 @@ class SpatialQueryService:
                     with self._query_lock:
                         self._queries.forget(old.dataset)
             return entry
+
+    # ------------------------------------------------------------------
+    # Planning (from catalog sketches — no raw data access)
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        a: Dataset | str,
+        b: Dataset | str,
+        algorithm: str = "auto",
+        *,
+        space=None,
+        parameters: dict[str, object] | None = None,
+    ) -> PlanReport:
+        """Explain how a join over these inputs would be planned.
+
+        For catalog names this runs entirely off the sketches the
+        catalog stored at registration time — a few KB of statistics
+        per side, no element data touched — which is what makes
+        planning cheap enough to answer interactively for any
+        registered pair.  Concrete datasets are sketched on the fly.
+        """
+        with self._lock:
+            entry_a = (
+                self._catalog.resolve(a) if isinstance(a, str) else None
+            )
+            entry_b = (
+                self._catalog.resolve(b) if isinstance(b, str) else None
+            )
+            sketch_a = (
+                self._catalog.sketch_by_fingerprint(entry_a.fingerprint)
+                if entry_a is not None
+                else None
+            )
+            sketch_b = (
+                self._catalog.sketch_by_fingerprint(entry_b.fingerprint)
+                if entry_b is not None
+                else None
+            )
+            page_size = self._queries.page_size
+        if sketch_a is None:
+            from repro.stats.sketch import build_sketch
+
+            if not isinstance(a, Dataset):
+                raise TypeError(
+                    "plan() takes catalog names (str) or concrete "
+                    f"Datasets, got {type(a).__name__}"
+                )
+            sketch_a = build_sketch(a)
+        if sketch_b is None:
+            from repro.stats.sketch import build_sketch
+
+            if not isinstance(b, Dataset):
+                raise TypeError(
+                    "plan() takes catalog names (str) or concrete "
+                    f"Datasets, got {type(b).__name__}"
+                )
+            sketch_b = build_sketch(b)
+        return plan_join_sketched(
+            sketch_a,
+            sketch_b,
+            algorithm,
+            space=space,
+            page_size=page_size,
+            parameters=parameters,
+            explain=True,
+            disk_model=self._queries.disk.model,
+            cost_model=self._queries.cost_model,
+        )
 
     # ------------------------------------------------------------------
     # Joins
@@ -325,6 +401,7 @@ class SpatialQueryService:
                     self._record_latency(
                         outcome.report.algorithm, outcome.wall_seconds
                     )
+                    self._record_estimates(outcome.report)
                 else:
                     self._failures += len(pending[key])
                 for pos in pending[key]:
@@ -399,6 +476,26 @@ class SpatialQueryService:
     def _record_latency(self, algorithm: str, seconds: float) -> None:
         self._latencies.setdefault(algorithm, _LatencyRecord()).add(seconds)
 
+    def _record_estimates(self, report: RunReport) -> None:
+        """Fold one executed miss into the estimator-accuracy counters.
+
+        Only joins the statistics layer actually planned contribute
+        (``plan_report`` present with estimates); cache hits never do —
+        their work was already counted when the report was computed.
+        Caller holds ``self._lock``.
+        """
+        plan_report = report.plan_report
+        if plan_report is None or not plan_report.stats_used:
+            return
+        if plan_report.est_pairs is None:
+            return
+        self._estimator_predictions += 1
+        self._predicted_pairs += plan_report.est_pairs
+        self._actual_pairs += report.pairs_found
+        if plan_report.est_tests is not None:
+            self._predicted_tests += plan_report.est_tests
+            self._actual_tests += report.intersection_tests
+
     def stats(self) -> ServiceStats:
         """One immutable snapshot of the service's lifetime counters."""
         with self._lock:
@@ -418,6 +515,11 @@ class SpatialQueryService:
                     name: record.summary()
                     for name, record in sorted(self._latencies.items())
                 },
+                estimator_predictions=self._estimator_predictions,
+                predicted_pairs=self._predicted_pairs,
+                actual_pairs=self._actual_pairs,
+                predicted_tests=self._predicted_tests,
+                actual_tests=self._actual_tests,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

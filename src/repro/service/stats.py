@@ -57,6 +57,31 @@ class ServiceStats:
     latency_by_algorithm: dict[str, dict[str, float]] = field(
         default_factory=dict
     )
+    #: Estimator accuracy: how many executed misses the statistics
+    #: layer planned (``algorithm="auto"``), and the summed predicted
+    #: vs. actual work of those joins.  A healthy planner keeps the
+    #: prediction/actual ratios near 1; drift beyond the documented
+    #: error band means the sketches no longer describe the traffic.
+    estimator_predictions: int = 0
+    predicted_pairs: float = 0.0
+    actual_pairs: int = 0
+    predicted_tests: float = 0.0
+    actual_tests: int = 0
+
+    @property
+    def pairs_estimate_ratio(self) -> float:
+        """Predicted / actual result pairs over planned misses (0 = none)."""
+        if not self.estimator_predictions:
+            return 0.0
+        # Smoothed so a run of empty joins reads as ratio ~1, not inf.
+        return (self.predicted_pairs + 1.0) / (self.actual_pairs + 1.0)
+
+    @property
+    def tests_estimate_ratio(self) -> float:
+        """Predicted / actual comparisons over planned misses (0 = none)."""
+        if not self.estimator_predictions:
+            return 0.0
+        return (self.predicted_tests + 1.0) / (self.actual_tests + 1.0)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -91,5 +116,14 @@ class ServiceStats:
             "latency_by_algorithm": {
                 name: {k: round(v, 6) for k, v in row.items()}
                 for name, row in self.latency_by_algorithm.items()
+            },
+            "estimator": {
+                "predictions": self.estimator_predictions,
+                "predicted_pairs": round(self.predicted_pairs, 1),
+                "actual_pairs": self.actual_pairs,
+                "pairs_ratio": round(self.pairs_estimate_ratio, 3),
+                "predicted_tests": round(self.predicted_tests, 1),
+                "actual_tests": self.actual_tests,
+                "tests_ratio": round(self.tests_estimate_ratio, 3),
             },
         }

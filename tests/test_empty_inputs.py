@@ -96,7 +96,10 @@ class TestPlannerOnEmptyInputs:
             assert plan.algorithm == name
             assert plan.reason == "requested explicitly"
 
-    def test_nonempty_contrast_still_selects_gipsy(self):
+    def test_nonempty_contrast_still_selects_gipsy(self, monkeypatch):
+        """The ratio fallback (stats disabled) keeps its contrast gate —
+        the empty-input short-circuit must not swallow real contrast."""
+        monkeypatch.setenv("REPRO_PLANNER_STATS", "0")
         space = scaled_space(700)
         small = uniform_dataset(10, seed=1, name="small", space=space)
         big = uniform_dataset(

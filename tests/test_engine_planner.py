@@ -27,33 +27,46 @@ def _ratio_pair(n_small: int, n_big: int):
 
 class TestAutoSelection:
     def test_balanced_uniform_picks_transformers(self):
-        """The robust default: no per-workload tuning (Table I)."""
+        """The robust default wins on cost: no per-workload tuning."""
         a, b = dataset_pair("uniform", 400, 400, seed=21)
         plan = plan_join(a, b, "auto")
         assert plan.algorithm == "transformers"
         assert plan.requested == "auto"
-        assert "robust" in plan.reason
+        assert "estimated cost" in plan.reason
 
     def test_skewed_pair_within_threshold_stays_transformers(self):
         a, b = _ratio_pair(200, 200 * 8)
         assert plan_join(a, b, "auto").algorithm == "transformers"
 
-    def test_extreme_ratio_picks_gipsy(self):
-        """Fig. 10's ladder edges: the directed crawl from the sparse
-        side wins only at extreme density contrast."""
+    def test_cost_based_choice_is_symmetric(self):
+        a, b = _ratio_pair(30, 30 * 100)
+        assert (
+            plan_join(a, b, "auto").algorithm
+            == plan_join(b, a, "auto").algorithm
+        )
+
+
+class TestRatioFallback:
+    """``REPRO_PLANNER_STATS=0``: the legacy two-scalar rule."""
+
+    def test_extreme_ratio_picks_gipsy(self, monkeypatch):
+        """Fig. 10's ladder edges: the fallback routes extreme density
+        contrast to the directed crawl from the sparse side."""
+        monkeypatch.setenv("REPRO_PLANNER_STATS", "0")
         n = 30
         a, b = _ratio_pair(n, int(n * GIPSY_RATIO_THRESHOLD))
         plan = plan_join(a, b, "auto")
         assert plan.algorithm == "gipsy"
         assert "contrast" in plan.reason
 
-    def test_auto_respects_plannable_flag(self):
+    def test_fallback_respects_plannable_flag(self, monkeypatch):
         """De-listing GIPSY from planning makes auto fall back to the
         robust default even at extreme contrast."""
         import dataclasses
 
         from repro.engine import registry
 
+        monkeypatch.setenv("REPRO_PLANNER_STATS", "0")
         a, b = _ratio_pair(30, 30 * 100)
         original = registry._REGISTRY["gipsy"]
         registry._REGISTRY["gipsy"] = dataclasses.replace(
@@ -65,7 +78,8 @@ class TestAutoSelection:
             registry._REGISTRY["gipsy"] = original
         assert plan_join(a, b, "auto").algorithm == "gipsy"
 
-    def test_ratio_is_symmetric(self):
+    def test_ratio_is_symmetric(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLANNER_STATS", "0")
         a, b = _ratio_pair(30, 30 * 100)
         assert plan_join(a, b, "auto").algorithm == "gipsy"
         assert plan_join(b, a, "auto").algorithm == "gipsy"

@@ -34,6 +34,7 @@ def test_examples_directory_complete():
         "index_reuse.py",
         "spatial_queries.py",
         "service_quickstart.py",
+        "cost_based_planning.py",
     } <= present
 
 
@@ -71,6 +72,15 @@ def test_service_quickstart():
     assert "cached=True" in out
     assert "hit rate 50%" in out
     assert "served from cache ✓" in out
+
+
+def test_cost_based_planning():
+    out = run_example("cost_based_planning.py", "2000")
+    assert "chosen    : transformers" in out
+    assert "candidates" in out
+    assert "error band" in out
+    assert "escape hatch" in out
+    assert "✓" in out
 
 
 def test_spatial_queries():

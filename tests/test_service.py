@@ -365,3 +365,119 @@ class TestResultCacheUnit:
         cache.clear()
         assert len(cache) == 0
         assert cache.invalidations == 1
+
+
+class TestPlanningFromCatalogSketches:
+    """The service plans registered pairs from stored sketches alone."""
+
+    def test_plan_over_names_uses_stored_sketches(self, trio):
+        service, a, b, *_ = trio
+        report = service.plan("a", "b")
+        assert report.stats_used
+        assert report.algorithm == "transformers"
+        assert report.est_pairs is not None
+        assert len(report.candidates) >= 4
+
+    def test_plan_matches_dataset_level_planning(self, trio):
+        """Sketch-only planning agrees with planning from the data."""
+        from repro.engine import plan_join
+
+        service, a, b, *_ = trio
+        via_catalog = service.plan("a", "b")
+        via_data = plan_join(a, b, "auto", explain=True)
+        assert via_catalog.algorithm == via_data.algorithm
+        assert via_catalog.est_pairs == pytest.approx(via_data.est_pairs)
+
+    def test_plan_accepts_concrete_datasets(self, trio):
+        service, a, b, *_ = trio
+        probe = uniform_dataset(
+            150, seed=9, name="probe", id_offset=5 * 10**9,
+            space=scaled_space(600),
+        )
+        report = service.plan("a", probe)
+        assert report.stats_used
+
+    def test_plan_unknown_name_raises(self, trio):
+        service, *_ = trio
+        with pytest.raises(KeyError, match="no dataset registered"):
+            service.plan("a", "nope")
+
+    def test_plan_rejects_unsupported_types(self, trio):
+        service, *_ = trio
+        with pytest.raises(TypeError, match="catalog names"):
+            service.plan("a", 42)
+
+    def test_catalog_sketch_shared_by_aliases_and_pruned(self, trio):
+        service, a, *_ = trio
+        catalog = service.catalog
+        sketch = catalog.sketch_for("a")
+        service.register("alias", a)  # same content, same sketch object
+        assert catalog.sketch_for("alias") is sketch
+        catalog.unregister("alias")
+        assert catalog.sketch_for("a") is sketch  # still served
+        assert catalog.sketch_by_fingerprint(
+            catalog.resolve("a").fingerprint
+        ) is sketch
+
+    def test_rebinding_changed_content_replaces_sketch(self, trio):
+        service, a, *_ = trio
+        catalog = service.catalog
+        old_sketch = catalog.sketch_for("a")
+        old_fingerprint = catalog.resolve("a").fingerprint
+        replacement = uniform_dataset(
+            120, seed=77, name="A2", space=scaled_space(600)
+        )
+        service.register("a", replacement)
+        assert catalog.sketch_for("a") is not old_sketch
+        assert catalog.sketch_by_fingerprint(old_fingerprint) is None
+
+
+class TestEstimatorAccuracyCounters:
+    def test_auto_misses_record_predicted_vs_actual(self, trio):
+        service, *_ = trio
+        before = service.stats()
+        assert before.estimator_predictions == 0
+        assert before.pairs_estimate_ratio == 0.0
+
+        response = service.submit(JoinRequest("a", "b", algorithm="auto"))
+        assert response.ok and not response.cached
+        stats = service.stats()
+        assert stats.estimator_predictions == 1
+        assert stats.actual_pairs == response.report.pairs_found
+        assert stats.predicted_pairs > 0.0
+        assert stats.actual_tests == response.report.intersection_tests
+        # The planner's documented band bounds the aggregate ratio too.
+        from repro.stats import ESTIMATE_ERROR_BAND
+
+        assert (
+            1.0 / ESTIMATE_ERROR_BAND
+            <= stats.pairs_estimate_ratio
+            <= ESTIMATE_ERROR_BAND
+        )
+        assert stats.tests_estimate_ratio > 0.0
+
+    def test_cache_hits_do_not_recount_predictions(self, trio):
+        service, *_ = trio
+        request = JoinRequest("a", "b", algorithm="auto")
+        service.submit(request)
+        once = service.stats()
+        hit = service.submit(request)
+        assert hit.cached
+        again = service.stats()
+        assert again.estimator_predictions == once.estimator_predictions
+        assert again.predicted_pairs == once.predicted_pairs
+
+    def test_explicit_requests_record_nothing(self, trio):
+        service, *_ = trio
+        service.submit(JoinRequest("a", "b", algorithm="transformers"))
+        stats = service.stats()
+        assert stats.estimator_predictions == 0
+        assert stats.as_dict()["estimator"]["predictions"] == 0
+
+    def test_estimator_section_in_as_dict(self, trio):
+        service, *_ = trio
+        service.submit(JoinRequest("a", "c", algorithm="auto"))
+        row = service.stats().as_dict()["estimator"]
+        assert row["predictions"] == 1
+        assert row["pairs_ratio"] > 0.0
+        assert row["actual_tests"] > 0
