@@ -20,12 +20,14 @@ import os
 
 import pytest
 
+from repro.core.config import bench_scale, bench_workers
+
 #: Default scale keeps the full benchmark suite in the minutes range.
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_SCALE = bench_scale()
 
 #: Worker processes for the experiments' batched runs (default serial).
-BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
-os.environ.setdefault("REPRO_EXPERIMENT_WORKERS", str(BENCH_WORKERS))
+BENCH_WORKERS = bench_workers()
+os.environ.setdefault("REPRO_EXPERIMENT_WORKERS", str(BENCH_WORKERS))  # repro: ignore[RPL005]
 
 
 def run_once(benchmark, fn, *args):

@@ -65,8 +65,9 @@ from collections.abc import Sequence
 
 # Experiments must run serially for bit-identical counters regardless
 # of the machine's core count.
-os.environ.setdefault("REPRO_EXPERIMENT_WORKERS", "1")
+os.environ.setdefault("REPRO_EXPERIMENT_WORKERS", "1")  # repro: ignore[RPL005]
 
+from repro.core.config import env_override  # noqa: E402
 from repro.datagen import scaled_space, uniform_dataset  # noqa: E402
 from repro.harness import experiments  # noqa: E402
 from repro.harness.runner import scale_counts  # noqa: E402
@@ -246,15 +247,8 @@ def measure_planner(scale: float) -> dict:
     worker pin at module import): an ambient ``=0`` must not silently
     skip the gate or crash the run.
     """
-    previous = os.environ.get("REPRO_PLANNER_STATS")
-    os.environ["REPRO_PLANNER_STATS"] = "1"
-    try:
+    with env_override("REPRO_PLANNER_STATS", "1"):
         return _measure_planner_inner(scale)
-    finally:
-        if previous is None:
-            os.environ.pop("REPRO_PLANNER_STATS", None)
-        else:
-            os.environ["REPRO_PLANNER_STATS"] = previous
 
 
 def _measure_planner_inner(scale: float) -> dict:

@@ -1,0 +1,19 @@
+"""Shared numpy array aliases for the strictly-typed packages.
+
+Geometry (box corners, extents, masses, densities) is float64
+throughout the codebase; identifier/count arrays are signed integers
+(int64 on disk, intp after fancy indexing — ``IntArray`` admits both).
+``AnyArray`` is for the rare helper that genuinely works on either.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.signedinteger[Any]]
+BoolArray = npt.NDArray[np.bool_]
+AnyArray = npt.NDArray[Any]

@@ -1,0 +1,51 @@
+"""repro.analysis — AST-based invariant lint for this repository.
+
+The dynamic suites (oracle corpus, metamorphic tests, soak runs)
+verify behaviour; this package verifies the *invariant shapes* those
+suites rely on, at commit time and in milliseconds:
+
+========  ==========================================================
+RPL001    ``__slots__`` classes define explicit pickle support
+RPL002    guarded service state is touched with the service lock held
+RPL003    no unseeded randomness; no wall clock in counted paths
+RPL004    vectorized kernels keep ``*_reference`` twins + tests
+RPL005    ``REPRO_*`` env vars route through ``repro.core.config``
+RPL006    ``__all__`` entries and cross-module re-exports resolve
+========  ==========================================================
+
+Run ``python -m repro.analysis src/`` (see ``--help`` for baselines,
+rule selection and the generated env-var table).  Suppress a single
+line with ``# repro: ignore[RPL001]``; gate CI on *new* findings by
+committing a JSON baseline and passing ``--baseline``.
+"""
+
+from repro.analysis.baseline import load_baseline, partition, save_baseline
+from repro.analysis.engine import (
+    AnalysisRequest,
+    AnalysisResult,
+    analyze_paths,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import (
+    Rule,
+    RuleConfig,
+    build_rules,
+    register_rule,
+    registered_rules,
+)
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "analyze_paths",
+    "Finding",
+    "Severity",
+    "Rule",
+    "RuleConfig",
+    "build_rules",
+    "register_rule",
+    "registered_rules",
+    "load_baseline",
+    "save_baseline",
+    "partition",
+]

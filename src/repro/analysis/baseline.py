@@ -1,0 +1,93 @@
+"""Committed-baseline handling: gate on *new* violations only.
+
+A baseline is a JSON snapshot of known findings.  Comparing a run
+against it splits findings into *new* (fail the build) and *known*
+(tolerated technical debt, burned down over time).  Matching is by
+:meth:`Finding.key` — ``(rule, path, symbol)``, not line numbers — and
+is count-aware: two distinct violations of the same rule on the same
+symbol need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline at ``path``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "message": f.message,
+            }
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Multiset of baselined ``(rule, path, symbol)`` keys."""
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise BaselineError(f"baseline {path}: top level must be an object")
+    if payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: unsupported version "
+            f"{payload.get('version')!r} (expected {BASELINE_VERSION})"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list")
+    keys: Counter[tuple[str, str, str]] = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise BaselineError(
+                f"baseline {path}: each finding must be an object"
+            )
+        try:
+            key = (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["symbol"]),
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path}: finding missing field {exc}"
+            )
+        keys[key] += 1
+    return keys
+
+
+def partition(
+    findings: list[Finding], baseline: Counter[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into ``(new, known)`` against ``baseline``."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

@@ -1,0 +1,168 @@
+"""Command-line front-end: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — clean (or every error baselined / suppressed);
+1 — new error-severity findings; 2 — usage or baseline problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    save_baseline,
+)
+from repro.analysis.engine import AnalysisRequest, analyze_paths
+from repro.analysis.findings import Severity
+from repro.analysis.registry import RuleConfig, registered_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Repository-specific invariant lint: pickle safety of "
+            "__slots__ classes (RPL001), service-lock discipline "
+            "(RPL002), determinism (RPL003), vectorized-kernel "
+            "pairing (RPL004), REPRO_* env-var registry (RPL005) and "
+            "export hygiene (RPL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON baseline; findings recorded there do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        help="write current findings to this baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--tests-root",
+        action="append",
+        type=Path,
+        default=None,
+        help="directory searched for equivalence tests (default: tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--env-table",
+        action="store_true",
+        help="print the REPRO_* env-var table (markdown) and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.env_table:
+        from repro.core.config import env_table_markdown
+
+        print(env_table_markdown())
+        return 0
+
+    if args.list_rules:
+        for rule_id, cls in registered_rules().items():
+            print(f"{rule_id}  {cls.title}")
+        return 0
+
+    request = AnalysisRequest(
+        paths=[Path(p) for p in args.paths],
+        config=RuleConfig(),
+        select=tuple(args.select) if args.select is not None else None,
+        disable=tuple(args.disable),
+        tests_roots=(
+            tuple(args.tests_root)
+            if args.tests_root is not None
+            else (Path("tests"),)
+        ),
+    )
+    result = analyze_paths(request)
+
+    if args.write_baseline is not None:
+        save_baseline(args.write_baseline, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    known_count = 0
+    reportable = result.findings
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, BaselineError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        reportable, known = partition(result.findings, baseline)
+        known_count = len(known)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_scanned": result.files_scanned,
+                    "suppressed": result.suppressed,
+                    "baselined": known_count,
+                    "findings": [f.as_dict() for f in reportable],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in reportable:
+            print(finding.render())
+        summary = (
+            f"{result.files_scanned} file(s) scanned, "
+            f"{len(reportable)} finding(s)"
+        )
+        if known_count:
+            summary += f", {known_count} baselined"
+        if result.suppressed:
+            summary += f", {result.suppressed} suppressed"
+        print(summary)
+
+    has_errors = any(
+        f.severity is Severity.ERROR for f in reportable
+    )
+    return 1 if has_errors else 0

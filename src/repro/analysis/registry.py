@@ -1,0 +1,135 @@
+"""Rule framework: base class, registry, per-rule configuration.
+
+Rules register themselves at import time via :func:`register_rule`;
+the engine instantiates every registered rule with the run's
+:class:`RuleConfig` and concatenates their findings.  Keeping the
+registry declarative means ``--list-rules``, ``--select`` and
+``--disable`` need no hand-maintained tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, TypeVar
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Knobs shared by all rules; rules read only what concerns them.
+
+    Every field has a default matched to this repository, and the test
+    suite overrides them to point rules at fixture trees — the scope
+    patterns are segment matches on dotted module names, so a fixture
+    package named ``analysis_fixtures.service`` exercises the service
+    rules without touching ``repro.service`` itself.
+    """
+
+    #: Base classes that make a ``__slots__`` class pickle-safe.
+    pickle_mixins: tuple[str, ...] = ("SlotPickleMixin",)
+    #: Attribute names whose access requires the service lock.
+    guarded_attributes: tuple[str, ...] = ("_catalog", "_cache", "_results")
+    #: The lock attribute guarding the above.
+    lock_attribute: str = "_lock"
+    #: Module-name segment that puts a module in lock-rule scope.
+    service_segment: str = "service"
+    #: Module-name segments where wall-clock reads are banned.
+    clock_banned_segments: tuple[str, ...] = ("joins", "core", "stats")
+    #: Decorator names that tag a function as a vectorized kernel.
+    vectorized_decorators: tuple[str, ...] = ("vectorized_kernel",)
+    #: Modules allowed to touch ``REPRO_*`` environment variables.
+    env_allowed_modules: tuple[str, ...] = ("repro.core.config",)
+    #: Environment-variable prefix the registry owns.
+    env_prefix: str = "REPRO_"
+    #: Per-rule severity overrides, e.g. ``{"RPL003": Severity.WARNING}``.
+    severity_overrides: dict[str, Severity] = field(default_factory=dict)
+
+
+class Rule:
+    """One named check over a :class:`ProjectContext`."""
+
+    id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    default_severity: ClassVar[Severity] = Severity.ERROR
+
+    def __init__(self, config: RuleConfig) -> None:
+        self.config = config
+
+    @property
+    def severity(self) -> Severity:
+        return self.config.severity_overrides.get(
+            self.id, self.default_severity
+        )
+
+    def finding(
+        self,
+        *,
+        path: str,
+        line: int,
+        column: int,
+        symbol: str,
+        message: str,
+    ) -> Finding:
+        """A :class:`Finding` stamped with this rule's id and severity."""
+        return Finding(
+            path=path,
+            line=line,
+            column=column,
+            rule=self.id,
+            symbol=symbol,
+            message=message,
+            severity=self.severity,
+        )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+_R = TypeVar("_R", bound=type[Rule])
+
+
+def register_rule(cls: _R) -> _R:
+    """Class decorator adding ``cls`` to the global rule registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def registered_rules() -> dict[str, type[Rule]]:
+    """Id -> rule class, for every registered rule (sorted by id)."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def build_rules(
+    config: RuleConfig,
+    *,
+    select: Iterable[str] | None = None,
+    disable: Iterable[str] = (),
+) -> list[Rule]:
+    """Instantiate the active rule set for one run."""
+    selected = (
+        {name.upper() for name in select} if select is not None else None
+    )
+    disabled = {name.upper() for name in disable}
+    rules: list[Rule] = []
+    for rule_id, cls in registered_rules().items():
+        if selected is not None and rule_id not in selected:
+            continue
+        if rule_id in disabled:
+            continue
+        rules.append(cls(config))
+    return rules
+
+
+#: Signature rules implement; exposed for documentation tooling.
+RuleFactory = Callable[[RuleConfig], Rule]

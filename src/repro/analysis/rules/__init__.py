@@ -1,0 +1,17 @@
+"""Rule implementations; importing this package registers them all."""
+
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.env_registry import EnvRegistryRule
+from repro.analysis.rules.exports import ExportHygieneRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.pickle_safety import PickleSafetyRule
+from repro.analysis.rules.vector_pairing import VectorPairingRule
+
+__all__ = [
+    "PickleSafetyRule",
+    "LockDisciplineRule",
+    "DeterminismRule",
+    "VectorPairingRule",
+    "EnvRegistryRule",
+    "ExportHygieneRule",
+]

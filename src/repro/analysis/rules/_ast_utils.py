@@ -1,0 +1,85 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> absolute dotted target, for every import.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from os import environ`` yields ``{"environ": "os.environ"}``.
+    Star imports contribute nothing (their bindings are unknowable
+    statically).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = (
+                    alias.asname
+                    if alias.asname
+                    else alias.name.split(".")[0]
+                )
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname if alias.asname else alias.name
+                aliases[local] = (
+                    f"{module}.{alias.name}" if module else alias.name
+                )
+    return aliases
+
+
+def resolve_call_target(
+    func: ast.expr, aliases: dict[str, str]
+) -> str | None:
+    """Absolute dotted name a call expression refers to, if resolvable.
+
+    Resolves the leading segment through the module's import aliases:
+    with ``import numpy as np``, ``np.random.default_rng`` resolves to
+    ``numpy.random.default_rng``.
+    """
+    name = dotted_name(func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return name
+    return f"{target}.{rest}" if rest else target
+
+
+def string_literal(node: ast.expr) -> str | None:
+    """The value of a string-constant expression, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def enclosing_function(
+    ancestors: list[ast.AST],
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """Innermost function containing a node, given its ancestor chain."""
+    for node in ancestors:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None

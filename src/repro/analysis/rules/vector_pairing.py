@@ -1,0 +1,102 @@
+"""RPL004 — every vectorized kernel keeps its reference twin honest.
+
+The vectorized filter-phase kernels are only trustworthy because an
+element-at-a-time ``*_reference`` formulation stays in-tree and an
+equivalence test asserts identical pair sets and counters.  This rule
+makes that pairing a checked contract: a function decorated with
+``@vectorized_kernel`` (see :mod:`repro.vectorize`) must
+
+* have an importable ``<name>_reference`` twin bound in the same
+  module, and
+* be named — together with its twin — by at least one test file under
+  the configured tests roots, so deleting the equivalence test (or
+  renaming the kernel out from under it) fails the lint run rather
+  than silently dropping coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from functools import lru_cache
+from pathlib import Path
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.rules._ast_utils import dotted_name
+
+
+@lru_cache(maxsize=None)
+def _test_sources(roots: tuple[Path, ...]) -> tuple[str, ...]:
+    sources: list[str] = []
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            try:
+                sources.append(path.read_text(encoding="utf-8"))
+            except OSError:  # pragma: no cover - unreadable test file
+                continue
+    return tuple(sources)
+
+
+def _mentions(source: str, name: str) -> bool:
+    return re.search(rf"\b{re.escape(name)}\b", source) is not None
+
+
+@register_rule
+class VectorPairingRule(Rule):
+    id = "RPL004"
+    title = "vectorized kernels need *_reference twins and equivalence tests"
+
+    def _is_tag(self, decorator: ast.expr) -> bool:
+        node = decorator
+        if isinstance(node, ast.Call):
+            node = node.func
+        name = dotted_name(node)
+        if name is None:
+            return False
+        return name.rsplit(".", 1)[-1] in self.config.vectorized_decorators
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        tests = _test_sources(project.tests_roots)
+        for module in project.sorted_modules():
+            bound = module.top_level_bindings()
+            for node in ast.walk(module.tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if not any(self._is_tag(d) for d in node.decorator_list):
+                    continue
+                twin = f"{node.name}_reference"
+                if twin not in bound:
+                    yield self.finding(
+                        path=module.display_path,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        symbol=node.name,
+                        message=(
+                            f"vectorized kernel {node.name} has no "
+                            f"importable {twin} twin in {module.name}; "
+                            "keep the element-at-a-time formulation "
+                            "in-tree as the equivalence baseline"
+                        ),
+                    )
+                    continue
+                if project.tests_roots and not any(
+                    _mentions(source, node.name)
+                    and _mentions(source, twin)
+                    for source in tests
+                ):
+                    yield self.finding(
+                        path=module.display_path,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        symbol=node.name,
+                        message=(
+                            f"no test file references both {node.name} "
+                            f"and {twin}; the equivalence suite must "
+                            "name the kernel and its reference twin"
+                        ),
+                    )

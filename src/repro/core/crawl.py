@@ -27,6 +27,8 @@ from collections.abc import Container
 
 import numpy as np
 
+from repro._types import FloatArray, IntArray
+
 from repro.core.indexing import TransformersIndex
 from repro.core.walk import touch_node_meta
 from repro.joins.base import JoinStats
@@ -36,10 +38,10 @@ from repro.storage.buffer import BufferPool
 def adaptive_crawl(
     index: TransformersIndex,
     start: int,
-    e_lo: np.ndarray,
-    e_hi: np.ndarray,
-    g_lo: np.ndarray,
-    g_hi: np.ndarray,
+    e_lo: FloatArray,
+    e_hi: FloatArray,
+    g_lo: FloatArray,
+    g_hi: FloatArray,
     stats: JoinStats,
     pool: BufferPool,
     skip: Container[int] = frozenset(),
@@ -88,18 +90,18 @@ def adaptive_crawl(
 def candidate_units(
     index: TransformersIndex,
     nodes: list[int],
-    q_lo: np.ndarray,
-    q_hi: np.ndarray,
+    q_lo: FloatArray,
+    q_hi: FloatArray,
     stats: JoinStats,
     pool: BufferPool,
-) -> np.ndarray:
+) -> IntArray:
     """Units of the given nodes whose page MBB intersects the query box.
 
     Reads each node's unit-descriptor page (charged through the pool)
     and filters its units' page MBBs — the "filters elements before the
     in-memory join" step of Section V.
     """
-    out: list[np.ndarray] = []
+    out: list[IntArray] = []
     for node in nodes:
         pool.read(int(index.nodes.desc_page_ids[node]))
         members = index.nodes.units[node]

@@ -23,6 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._types import FloatArray, IntArray
+
+from repro.geometry.slots import SlotPickleMixin
+
 #: Approximate serialized size of one descriptor: two MBBs (page and
 #: partition) stored as float32 corners (2·2·3·4 = 48 bytes), an
 #: id/pointer, and its share of the neighbour list.  Determines
@@ -32,7 +36,7 @@ import numpy as np
 DESCRIPTOR_SIZE = 64
 
 
-class UnitDescriptorBlock:
+class UnitDescriptorBlock(SlotPickleMixin):
     """Descriptors of all space units of one dataset.
 
     Attributes
@@ -56,13 +60,13 @@ class UnitDescriptorBlock:
 
     def __init__(
         self,
-        page_lo: np.ndarray,
-        page_hi: np.ndarray,
-        part_lo: np.ndarray,
-        part_hi: np.ndarray,
-        element_page_ids: np.ndarray,
-        parent_node: np.ndarray,
-        counts: np.ndarray,
+        page_lo: FloatArray,
+        page_hi: FloatArray,
+        part_lo: FloatArray,
+        part_hi: FloatArray,
+        element_page_ids: IntArray,
+        parent_node: IntArray,
+        counts: IntArray,
     ) -> None:
         n = len(element_page_ids)
         for arr in (page_lo, page_hi, part_lo, part_hi):
@@ -81,12 +85,12 @@ class UnitDescriptorBlock:
     def __len__(self) -> int:
         return len(self.element_page_ids)
 
-    def volumes(self) -> np.ndarray:
+    def volumes(self) -> FloatArray:
         """Page-MBB volumes — the V terms of the transformation ratios."""
         return np.prod(self.page_hi - self.page_lo, axis=1)
 
 
-class NodeDescriptorBlock:
+class NodeDescriptorBlock(SlotPickleMixin):
     """Descriptors of all space nodes of one dataset.
 
     ``mbb_lo/hi`` is the node MBB covering all of the node's units;
@@ -107,16 +111,16 @@ class NodeDescriptorBlock:
 
     def __init__(
         self,
-        mbb_lo: np.ndarray,
-        mbb_hi: np.ndarray,
-        part_lo: np.ndarray,
-        part_hi: np.ndarray,
-        units: list[np.ndarray],
-        neighbors: list[np.ndarray],
-        desc_page_ids: np.ndarray,
-        meta_page_of: np.ndarray,
-        meta_page_ids: np.ndarray,
-        element_counts: np.ndarray,
+        mbb_lo: FloatArray,
+        mbb_hi: FloatArray,
+        part_lo: FloatArray,
+        part_hi: FloatArray,
+        units: list[IntArray],
+        neighbors: list[IntArray],
+        desc_page_ids: IntArray,
+        meta_page_of: IntArray,
+        meta_page_ids: IntArray,
+        element_counts: IntArray,
     ) -> None:
         n = len(units)
         for arr in (mbb_lo, mbb_hi, part_lo, part_hi):
@@ -140,6 +144,6 @@ class NodeDescriptorBlock:
     def __len__(self) -> int:
         return len(self.units)
 
-    def volumes(self) -> np.ndarray:
+    def volumes(self) -> FloatArray:
         """Node-MBB volumes — the V terms at node granularity."""
         return np.prod(self.mbb_hi - self.mbb_lo, axis=1)

@@ -31,6 +31,8 @@ import time
 
 import numpy as np
 
+from repro._types import FloatArray, IntArray
+
 from repro.geometry.box import Box
 from repro.geometry.boxes import BoxArray
 from repro.geometry.hilbert import hilbert_index_batch
@@ -64,12 +66,12 @@ class TransformersIndex:
         units: UnitDescriptorBlock,
         nodes: NodeDescriptorBlock,
         btree: BPlusTree,
-        max_extent: np.ndarray,
+        max_extent: FloatArray,
         elements_per_unit: int,
         units_per_node: int,
         space: "Box",
         btree_bits: int,
-        node_slack: np.ndarray,
+        node_slack: FloatArray,
     ) -> None:
         self.disk = disk
         self.dataset_name = dataset_name
@@ -151,7 +153,7 @@ def build_transformers_index(
     n_mbb_hi = np.empty((n_nodes, ndim))
     n_part_lo = np.empty((n_nodes, ndim))
     n_part_hi = np.empty((n_nodes, ndim))
-    node_units: list[np.ndarray] = []
+    node_units: list[IntArray] = []
     u_parent = np.empty(n_units, dtype=np.intp)
     desc_page_ids = np.empty(n_nodes, dtype=np.int64)
     element_counts = np.empty(n_nodes, dtype=np.int64)

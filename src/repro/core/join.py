@@ -33,8 +33,12 @@ in the result's ``extras``.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
+from typing import TypeVar
 
 import numpy as np
+
+from repro._types import BoolArray, FloatArray, IntArray
 
 from repro.core.config import TransformersConfig
 from repro.core.crawl import adaptive_crawl, candidate_units
@@ -42,6 +46,7 @@ from repro.core.indexing import TransformersIndex, build_transformers_index
 from repro.core.transformations import ThresholdController
 from repro.core.walk import adaptive_walk
 from repro.geometry.boxes import BoxArray
+from repro.geometry.slots import SlotPickleMixin
 from repro.geometry.hilbert import hilbert_index_batch
 from repro.joins.base import (
     CostBreakdown,
@@ -56,11 +61,13 @@ from repro.storage.buffer import BufferPool
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import ElementPage
 
+_T = TypeVar("_T")
+
 #: Volume floor so degenerate (flat) MBBs cannot produce infinite ratios.
 _EPS_VOLUME = 1e-9
 
 
-class _CheckedView:
+class _CheckedView(SlotPickleMixin):
     """Container view answering "is this node already checked?".
 
     Wraps the live *unchecked* set so the crawl's ``skip`` argument
@@ -170,7 +177,7 @@ class _Driver:
         #: Last walk position per dataset (when it acted as follower).
         self.walk_pos: list[int | None] = [None, None]
         self.guide = 0
-        self.out: list[np.ndarray] = []
+        self.out: list[IntArray] = []
         # Figure-14 attribution (simulated cost units).
         self.exploration_io = 0.0
         self.data_io = 0.0
@@ -266,7 +273,7 @@ class _Driver:
     # ------------------------------------------------------------------
     # Charged reads with Figure-14 attribution
     # ------------------------------------------------------------------
-    def _explore(self, fn, *args):
+    def _explore(self, fn: Callable[..., _T], *args: object) -> _T:
         """Run an exploration step, attributing its I/O and CPU cost."""
         io_before = self.disk.stats.read_cost
         meta_before = self.stats.metadata_comparisons
@@ -377,7 +384,7 @@ class _Driver:
         self,
         follower_idx: TransformersIndex,
         follower: int,
-        pivot_center: np.ndarray,
+        pivot_center: FloatArray,
     ) -> int:
         """Previous walk position, or a B+-tree Hilbert lookup."""
         pos = self.walk_pos[follower]
@@ -472,7 +479,7 @@ class _Driver:
         if idx.size:
             self._emit(g_ids[idx[:, 0]], f_ids[idx[:, 1]])
 
-    def _emit(self, guide_ids: np.ndarray, follower_ids: np.ndarray) -> None:
+    def _emit(self, guide_ids: IntArray, follower_ids: IntArray) -> None:
         """Record result pairs oriented as (id from A, id from B)."""
         if self.guide == 0:
             self.out.append(np.column_stack((guide_ids, follower_ids)))
@@ -505,7 +512,7 @@ class _Driver:
 
         # Phase 1 — plan: filter each guide unit's candidates and pick
         # its granularity (unit batch vs single elements), metadata only.
-        plan: list[tuple[int, np.ndarray, bool]] = []
+        plan: list[tuple[int, IntArray, bool]] = []
         used_units = 0
         for gu in g_units:
             u_lo = guide_idx.units.page_lo[gu]
@@ -544,7 +551,7 @@ class _Driver:
         # individual element ("retrieving only exactly the data
         # needed", Section III).
         needed_f: set[int] = set()
-        element_masks: dict[int, np.ndarray] = {}
+        element_masks: dict[int, BoolArray] = {}
         for gu, cand, split in plan:
             if not split:
                 needed_f.update(
@@ -599,7 +606,7 @@ class _Driver:
         self,
         g_page: ElementPage,
         follower_idx: TransformersIndex,
-        cand_units: np.ndarray,
+        cand_units: IntArray,
     ) -> None:
         """Use single guide elements as pivots against candidate units.
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._types import FloatArray, IntArray
+
 from repro.core.descriptors import NodeDescriptorBlock, UnitDescriptorBlock
 from repro.core.indexing import TransformersIndex
 from repro.geometry.box import Box
@@ -29,7 +31,7 @@ from repro.storage.page import ElementPage
 FORMAT_VERSION = 1
 
 
-def _ragged_to_arrays(parts: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+def _ragged_to_arrays(parts: list[IntArray]) -> tuple[IntArray, IntArray]:
     """Concatenate a ragged list into (values, offsets)."""
     offsets = np.zeros(len(parts) + 1, dtype=np.int64)
     for i, part in enumerate(parts):
@@ -43,8 +45,8 @@ def _ragged_to_arrays(parts: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _arrays_to_ragged(
-    values: np.ndarray, offsets: np.ndarray
-) -> list[np.ndarray]:
+    values: IntArray, offsets: IntArray
+) -> list[IntArray]:
     """Inverse of :func:`_ragged_to_arrays`."""
     return [
         values[offsets[i] : offsets[i + 1]].astype(np.intp)
@@ -63,9 +65,9 @@ def save_index(index: TransformersIndex, path: str) -> None:
     nodes = index.nodes
 
     # Element pages, concatenated in unit order.
-    ids_parts: list[np.ndarray] = []
-    lo_parts: list[np.ndarray] = []
-    hi_parts: list[np.ndarray] = []
+    ids_parts: list[IntArray] = []
+    lo_parts: list[FloatArray] = []
+    hi_parts: list[FloatArray] = []
     element_offsets = np.zeros(index.num_units + 1, dtype=np.int64)
     for t in range(index.num_units):
         page = index.disk.peek(int(units.element_page_ids[t]))

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._types import IntArray
+
 from repro.core.crawl import adaptive_crawl, candidate_units
 from repro.core.indexing import TransformersIndex
 from repro.core.walk import adaptive_walk
@@ -31,7 +33,7 @@ def range_query(
     query: Box,
     pool: BufferPool,
     stats: JoinStats | None = None,
-) -> np.ndarray:
+) -> IntArray:
     """Ids of all elements whose MBB intersects ``query``.
 
     Parameters
@@ -85,7 +87,7 @@ def range_query(
         index, found, e_lo, e_hi, g_lo, g_hi, stats, pool
     )
     units = candidate_units(index, nodes, e_lo, e_hi, stats, pool)
-    out: list[np.ndarray] = []
+    out: list[IntArray] = []
     for page_id in sorted(int(index.units.element_page_ids[u]) for u in units):
         page = pool.read(page_id)
         if not isinstance(page, ElementPage):

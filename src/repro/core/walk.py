@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._types import FloatArray
+
 from repro.core.indexing import TransformersIndex
 from repro.joins.base import JoinStats
 from repro.storage.buffer import BufferPool
 
 
 def node_distance(
-    index: TransformersIndex, node: int, q_lo: np.ndarray, q_hi: np.ndarray
+    index: TransformersIndex, node: int, q_lo: FloatArray, q_hi: FloatArray
 ) -> float:
     """Euclidean gap between a node's partition MBB and a query box."""
     below = np.maximum(q_lo - index.nodes.part_hi[node], 0.0)
@@ -46,8 +48,8 @@ def touch_node_meta(
 def adaptive_walk(
     index: TransformersIndex,
     start: int,
-    q_lo: np.ndarray,
-    q_hi: np.ndarray,
+    q_lo: FloatArray,
+    q_hi: FloatArray,
     stats: JoinStats,
     pool: BufferPool,
 ) -> int | None:

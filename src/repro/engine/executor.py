@@ -35,6 +35,7 @@ import dataclasses
 import os
 import time
 import traceback
+from collections.abc import Iterable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -484,7 +485,7 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # Batch mode
     # ------------------------------------------------------------------
-    def run(self, requests) -> BatchReport:
+    def run(self, requests: Iterable[JoinRequest]) -> BatchReport:
         """Execute every request; failures are per-request, never batch-wide."""
         requests = list(requests)
         start = time.perf_counter()
@@ -509,7 +510,7 @@ class BatchExecutor:
             cost_model=self.cost_model,
         )
 
-    def _run_pooled(self, requests) -> list[RequestOutcome]:
+    def _run_pooled(self, requests: list[JoinRequest]) -> list[RequestOutcome]:
         """Fan requests across a process pool, isolating failures."""
         outcomes: list[RequestOutcome] = []
         broken: list[tuple[int, JoinRequest]] = []

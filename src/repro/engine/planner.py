@@ -33,10 +33,10 @@ them.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.config import planner_stats_enabled as _planner_stats_enabled
 from repro.engine.registry import (
     algorithm_spec,
     available_algorithms,
@@ -75,7 +75,7 @@ def planner_stats_enabled() -> bool:
     cardinality-ratio rule.  Useful for bisecting planner behaviour
     and for callers that want the historical resolution.
     """
-    return os.environ.get("REPRO_PLANNER_STATS", "1") != "0"
+    return _planner_stats_enabled()
 
 
 def experiment_disk_model(page_size: int = EXPERIMENT_PAGE_SIZE) -> DiskModel:

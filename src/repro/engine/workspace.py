@@ -26,6 +26,8 @@ join phase starts with cold caches.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -43,12 +45,17 @@ from repro.engine.planner import (
 from repro.engine.registry import algorithm_spec, spec_for_instance
 from repro.engine.report import RunReport
 from repro.geometry.box import Box
+from repro.geometry.slots import SlotPickleMixin
 from repro.joins.base import CostModel, Dataset, JoinStats, SpatialJoinAlgorithm
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskModel, SimulatedDisk
 
+if TYPE_CHECKING:
+    from repro.engine.executor import BatchReport, JoinRequest
+    from repro.stats.sketch import DatasetSketch
 
-class EmptyIndex:
+
+class EmptyIndex(SlotPickleMixin):
     """No-op index handle for a zero-element dataset.
 
     Empty datasets have no MBB, so none of the real index builders can
@@ -72,7 +79,7 @@ class EmptyIndex:
         return f"EmptyIndex(dataset_name={self.dataset_name!r})"
 
 
-class _CachedIndex:
+class _CachedIndex(SlotPickleMixin):
     """One cached per-dataset index and its build provenance."""
 
     __slots__ = ("dataset", "handle", "build_stats", "pages_written")
@@ -217,7 +224,7 @@ class SpatialWorkspace:
         """Number of dataset sketches currently held by the cache."""
         return len(self._sketches)
 
-    def sketch_for(self, dataset: Dataset):
+    def sketch_for(self, dataset: Dataset) -> "DatasetSketch":
         """The (cached or freshly built) statistics sketch of a dataset.
 
         Sketches live beside indexes under the same LRU bound and are
@@ -414,11 +421,11 @@ class SpatialWorkspace:
     # ------------------------------------------------------------------
     def join_many(
         self,
-        requests,
+        requests: "Iterable[JoinRequest]",
         *,
         max_workers: int | None = None,
         seed: int = 0,
-    ):
+    ) -> "BatchReport":
         """Run many :class:`~repro.engine.executor.JoinRequest` objects.
 
         Delegates to a :class:`~repro.engine.executor.BatchExecutor`

@@ -14,11 +14,11 @@ scales — that is the point of the robustness claim).
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from collections.abc import Callable, Sequence
 
 from repro.core import TransformersConfig, TransformersJoin
+from repro.core.config import experiment_service_enabled, experiment_workers
 from repro.datagen import (
     dense_cluster,
     density_ladder,
@@ -44,7 +44,7 @@ def _experiment_workers() -> int:
     fields too.  Every run gets a fresh workspace either way, so the
     measured numbers are identical across worker counts.
     """
-    return max(1, int(os.environ.get("REPRO_EXPERIMENT_WORKERS", "1")))
+    return experiment_workers()
 
 
 #: Process-wide service for REPRO_EXPERIMENT_SERVICE=1 runs (created
@@ -75,7 +75,7 @@ def _experiment_service():
 
 
 def _service_enabled() -> bool:
-    return os.environ.get("REPRO_EXPERIMENT_SERVICE", "0") == "1"
+    return experiment_service_enabled()
 
 
 def _standard_algorithms(

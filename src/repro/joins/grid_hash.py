@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.geometry.boxes import BoxArray
 from repro.index.grid import UniformGrid
-from repro.vectorize import chunked_blocks, expand_counts
+from repro.vectorize import chunked_blocks, expand_counts, vectorized_kernel
 
 
 def default_resolution(n: int, ndim: int) -> int:
@@ -46,6 +46,7 @@ def default_resolution(n: int, ndim: int) -> int:
     return max(1, min(64, math.ceil(n ** (1.0 / ndim))))
 
 
+@vectorized_kernel
 def grid_hash_join(
     build: BoxArray,
     probe: BoxArray,

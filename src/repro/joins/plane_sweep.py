@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.boxes import BoxArray
-from repro.vectorize import chunked_blocks, expand_counts
+from repro.vectorize import chunked_blocks, expand_counts, vectorized_kernel
 
 
 def _candidate_hits(
@@ -62,6 +62,7 @@ def _candidate_hits(
     return np.concatenate(hits_d), np.concatenate(hits_o)
 
 
+@vectorized_kernel
 def plane_sweep_join(a: BoxArray, b: BoxArray) -> tuple[np.ndarray, int]:
     """Join two in-memory box sets with a forward plane sweep.
 

@@ -19,6 +19,8 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.geometry.slots import SlotPickleMixin
+
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile of ``values``; 0.0 for an empty input.
@@ -59,7 +61,7 @@ def latency_summary(seconds: Sequence[float]) -> dict[str, float]:
     }
 
 
-class Counter:
+class Counter(SlotPickleMixin):
     """A named monotonically increasing counter.
 
     >>> c = Counter("reads")
@@ -86,7 +88,7 @@ class Counter:
         return f"Counter({self.name!r}, {self.value})"
 
 
-class Timer:
+class Timer(SlotPickleMixin):
     """Accumulating wall-clock timer usable as a context manager.
 
     The timer accumulates across multiple ``with`` blocks, which is how

@@ -37,7 +37,7 @@ class ResultCache:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 or None")
         self.max_entries = max_entries
-        self._entries: OrderedDict[tuple, RunReport] = OrderedDict()
+        self._entries: OrderedDict[CacheKey, RunReport] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -46,7 +46,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
-    def get(self, key: tuple) -> RunReport | None:
+    def get(self, key: CacheKey) -> RunReport | None:
         """The cached report for ``key`` (refreshing recency), or None.
 
         Counts exactly one hit or one miss per call.
@@ -59,7 +59,7 @@ class ResultCache:
         self.hits += 1
         return report
 
-    def put(self, key: tuple, report: RunReport) -> None:
+    def put(self, key: CacheKey, report: RunReport) -> None:
         """Store a report, evicting least-recently-used overflow."""
         self._entries[key] = report
         self._entries.move_to_end(key)

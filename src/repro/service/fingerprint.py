@@ -34,13 +34,17 @@ from repro.joins.base import Dataset, SpatialJoinAlgorithm
 #: changes so old persisted fingerprints cannot silently alias new ones.
 _MAGIC = b"repro.dataset.v1"
 
+#: Shape of a result-cache key: both fingerprints, then the
+#: canonicalised algorithm/space/parameter signatures.
+CacheKey = tuple[object, ...]
+
 #: Identity-keyed digest memo.  Dataset is frozen and BoxArray's
 #: arrays are write-protected, so a given object's content bytes can
 #: never change — hashing them once per object is enough.  Entries are
 #: purged by the weakref callback when the dataset is collected (the
 #: callback runs during deallocation, before the id can be reused; the
 #: identity check on lookup guards the remaining window).
-_MEMO: dict[int, tuple[weakref.ref, str]] = {}
+_MEMO: dict[int, tuple["weakref.ref[Dataset]", str]] = {}
 
 
 def dataset_fingerprint(dataset: Dataset) -> str:
@@ -110,7 +114,7 @@ def request_cache_key(
     algorithm: str | SpatialJoinAlgorithm,
     space: object = None,
     parameters: dict[str, object] | None = None,
-) -> tuple:
+) -> CacheKey:
     """The result-cache key of one join request.
 
     ``(fingerprint_a, fingerprint_b, algorithm, params)`` — content

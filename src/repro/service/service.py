@@ -52,20 +52,28 @@ import dataclasses
 import threading
 import time
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro._types import IntArray
 
 from repro.engine.executor import BatchExecutor, JoinRequest
 from repro.engine.planner import PlanReport, plan_join_sketched
 from repro.engine.report import RunReport
 from repro.engine.workspace import SpatialWorkspace
 from repro.geometry.box import Box
+from repro.geometry.slots import SlotPickleMixin
 from repro.joins.base import CostModel, Dataset
 from repro.metrics import latency_summary
 from repro.service.catalog import CatalogEntry, DatasetCatalog
 from repro.service.cache import ResultCache
-from repro.service.fingerprint import dataset_fingerprint, request_cache_key
+from repro.service.fingerprint import (
+    CacheKey,
+    dataset_fingerprint,
+    request_cache_key,
+)
 from repro.service.stats import ServiceStats
 from repro.storage.disk import DiskModel
 
@@ -73,7 +81,7 @@ from repro.storage.disk import DiskModel
 RANGE_QUERY_LATENCY_KEY = "range_query"
 
 
-class _LatencyRecord:
+class _LatencyRecord(SlotPickleMixin):
     """Latency accounting that stays O(1) per request forever.
 
     ``count``/``total`` accumulate over the service's whole lifetime
@@ -116,7 +124,7 @@ class ServiceResponse:
     #: True when the report came straight from the result cache.
     cached: bool
     #: The content-addressed cache key the request resolved to.
-    key: tuple
+    key: CacheKey
     #: Human-readable request identification (JoinRequest.describe()).
     label: str
     #: Service-side wall seconds for this request (lookup time on a
@@ -208,7 +216,8 @@ class SpatialQueryService:
     @property
     def catalog(self) -> DatasetCatalog:
         """The dataset catalog (treat as read-only; use :meth:`register`)."""
-        return self._catalog
+        with self._lock:
+            return self._catalog
 
     @property
     def query_workspace(self) -> SpatialWorkspace:
@@ -248,7 +257,7 @@ class SpatialQueryService:
         b: Dataset | str,
         algorithm: str = "auto",
         *,
-        space=None,
+        space: Box | None = None,
         parameters: dict[str, object] | None = None,
     ) -> PlanReport:
         """Explain how a join over these inputs would be planned.
@@ -320,7 +329,9 @@ class SpatialQueryService:
         """
         return self.submit_many([request])[0]
 
-    def submit_many(self, requests) -> list[ServiceResponse]:
+    def submit_many(
+        self, requests: Iterable[JoinRequest]
+    ) -> list[ServiceResponse]:
         """Serve a batch of join requests, in request order.
 
         Cache hits are answered synchronously under the lock; misses
@@ -345,8 +356,8 @@ class SpatialQueryService:
             for r in requests
         ]
         responses: list[ServiceResponse | None] = [None] * len(requests)
-        pending: dict[tuple, list[int]] = {}
-        to_run: dict[tuple, JoinRequest] = {}
+        pending: dict[CacheKey, list[int]] = {}
+        to_run: dict[CacheKey, JoinRequest] = {}
         with self._lock:
             # Phase 1: resolve and key everything, mutating nothing —
             # a KeyError/TypeError here must not break the
@@ -387,8 +398,8 @@ class SpatialQueryService:
 
     def _execute_misses(
         self,
-        to_run: dict[tuple, JoinRequest],
-        pending: dict[tuple, list[int]],
+        to_run: dict[CacheKey, JoinRequest],
+        pending: dict[CacheKey, list[int]],
         responses: list[ServiceResponse | None],
     ) -> None:
         """Run unique cache misses through the executor, fill the cache."""
@@ -445,7 +456,7 @@ class SpatialQueryService:
         query: Box,
         *,
         buffer_pages: int = 256,
-    ) -> np.ndarray:
+    ) -> IntArray:
         """Ids of the dataset's elements intersecting ``query``.
 
         Served from the service's long-lived query workspace: the first
@@ -523,8 +534,9 @@ class SpatialQueryService:
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"SpatialQueryService(datasets={len(self._catalog)}, "
-            f"cached_results={len(self._results)}, "
-            f"requests={self._requests})"
-        )
+        with self._lock:
+            return (
+                f"SpatialQueryService(datasets={len(self._catalog)}, "
+                f"cached_results={len(self._results)}, "
+                f"requests={self._requests})"
+            )

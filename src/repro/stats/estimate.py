@@ -32,6 +32,8 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro._types import FloatArray
+
 from repro.joins.base import CostBreakdown, CostProfile
 from repro.stats.sketch import DatasetSketch
 from repro.storage.page import element_page_capacity
@@ -63,13 +65,13 @@ class PairAnalysis:
     sketch_a: DatasetSketch
     sketch_b: DatasetSketch
     base: float
-    counts_a: np.ndarray
-    counts_b: np.ndarray
-    mass_b_at_a: np.ndarray
-    mass_a_at_b: np.ndarray
+    counts_a: FloatArray
+    counts_b: FloatArray
+    mass_b_at_a: FloatArray
+    mass_a_at_b: FloatArray
 
     @property
-    def kernel0(self) -> np.ndarray:
+    def kernel0(self) -> FloatArray:
         """Per-axis Minkowski window: sum of both average extents."""
         return self.sketch_a.avg_extent + self.sketch_b.avg_extent
 
@@ -103,7 +105,7 @@ class PairAnalysis:
         """
         cap = max(page_capacity, 1)
 
-        def one_side(counts: np.ndarray, partner_mass: np.ndarray) -> float:
+        def one_side(counts: FloatArray, partner_mass: FloatArray) -> float:
             if counts.size == 0:
                 return 0.0
             pages = counts / cap
@@ -193,10 +195,10 @@ class GridEstimator:
 
 
 def _contract(
-    density: np.ndarray,
-    overlaps: list[np.ndarray],
+    density: FloatArray,
+    overlaps: list[FloatArray],
     transpose: bool,
-) -> np.ndarray:
+) -> FloatArray:
     """Apply the per-axis overlap matrices to a density tensor.
 
     Returns, per cell of the *other* grid, the partner mass

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._types import AnyArray, FloatArray, IntArray
+
 from repro.joins.base import Dataset
 
 #: Bump when the sketch layout changes: persisted sketches from an
@@ -66,15 +68,15 @@ class DatasetSketch:
 
     n: int
     ndim: int
-    lo: np.ndarray  # (d,) MBB lower corner
-    hi: np.ndarray  # (d,) MBB upper corner
-    avg_extent: np.ndarray  # (d,) mean per-axis element side length
+    lo: FloatArray  # (d,) MBB lower corner
+    hi: FloatArray  # (d,) MBB upper corner
+    avg_extent: FloatArray  # (d,) mean per-axis element side length
     resolution: int  # cells per axis
-    counts: np.ndarray  # (resolution**d,) int64, C-order
-    refined_cells: np.ndarray = field(
+    counts: IntArray  # (resolution**d,) int64, C-order
+    refined_cells: IntArray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )  # (k,) flat indices of refined (heavy) cells, sorted
-    refined_counts: np.ndarray = field(
+    refined_counts: IntArray = field(
         default_factory=lambda: np.empty((0, 0), dtype=np.int64)
     )  # (k, 2**d) child counts per refined cell
     version: int = SKETCH_VERSION
@@ -179,7 +181,7 @@ class DatasetSketch:
         return self.n == 0
 
     @property
-    def cell_sides(self) -> np.ndarray:
+    def cell_sides(self) -> FloatArray:
         """(d,) side lengths of one grid cell."""
         return np.maximum(self.hi - self.lo, 1e-12) / self.resolution
 
@@ -188,7 +190,7 @@ class DatasetSketch:
         """Volume of the MBB (floored so densities stay finite)."""
         return float(np.prod(np.maximum(self.hi - self.lo, 1e-12)))
 
-    def effective_cells(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def effective_cells(self) -> tuple[FloatArray, FloatArray, IntArray]:
         """``(lo, hi, counts)`` of occupied cells, heavy ones refined.
 
         Heavy cells are replaced by their non-empty quadtree children,
@@ -225,7 +227,7 @@ class DatasetSketch:
             counts = np.concatenate([counts, child_counts[nonzero]])
         return lo, hi, counts
 
-    def fine_counts(self) -> np.ndarray:
+    def fine_counts(self) -> FloatArray:
         """Counts on the doubled (``2·resolution``) grid, as a tensor.
 
         Non-heavy parent cells spread their count equally over their
@@ -255,7 +257,7 @@ class DatasetSketch:
                 fine[index] = self.refined_counts[:, child]
         return fine
 
-    def fine_edges(self) -> np.ndarray:
+    def fine_edges(self) -> FloatArray:
         """(d, 2·resolution + 1) cell edge coordinates of the fine grid."""
         fine_res = 2 * self.resolution
         steps = np.arange(fine_res + 1)[None, :]
@@ -310,7 +312,7 @@ class DatasetSketch:
         )
 
 
-def _frozen(arr: np.ndarray) -> np.ndarray:
+def _frozen(arr: AnyArray) -> AnyArray:
     """A C-contiguous, write-protected copy (sketches are immutable)."""
     out = np.ascontiguousarray(arr)
     out.setflags(write=False)

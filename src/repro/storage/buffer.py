@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.geometry.slots import SlotPickleMixin
 from repro.storage.disk import SimulatedDisk
 
 
-class BufferPool:
+class BufferPool(SlotPickleMixin):
     """Fixed-capacity LRU page cache.
 
     >>> disk = SimulatedDisk()

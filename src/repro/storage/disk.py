@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.geometry.slots import SlotPickleMixin
+
 
 @dataclass(frozen=True)
 class DiskModel:
@@ -96,7 +98,7 @@ class DiskStats:
         )
 
 
-class SimulatedDisk:
+class SimulatedDisk(SlotPickleMixin):
     """A page store with sequential/random read classification.
 
     >>> disk = SimulatedDisk()

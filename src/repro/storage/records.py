@@ -45,6 +45,15 @@ class RecordCodec:
         self.ndim = ndim
         self._struct = struct.Struct(f"<q{2 * ndim}d")
 
+    def __getstate__(self) -> dict[str, int]:
+        # ``struct.Struct`` objects do not pickle; ship the
+        # dimensionality and rebuild the codec on the other side.
+        return {"ndim": self.ndim}
+
+    def __setstate__(self, state: dict[str, int]) -> None:
+        self.ndim = state["ndim"]
+        self._struct = struct.Struct(f"<q{2 * self.ndim}d")
+
     @property
     def record_size(self) -> int:
         """Bytes per element record."""

@@ -1,0 +1,1 @@
+"""Lint-rule fixture package (not imported by tests)."""

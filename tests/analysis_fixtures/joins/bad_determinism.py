@@ -1,0 +1,35 @@
+"""Known-bad RPL003 fixture: unseeded randomness and wall-clock reads.
+
+Lives under a ``joins`` path segment, so the wall-clock half of the
+rule is in scope exactly as it is for :mod:`repro.joins`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jittered(value: float) -> float:
+    # Violation: process-global stdlib RNG.
+    return value + random.uniform(-1.0, 1.0)
+
+
+def noisy_column(n: int) -> np.ndarray:
+    # Violation: legacy numpy global RandomState.
+    return np.random.uniform(size=n)
+
+
+def fresh_generator() -> np.random.Generator:
+    # Violation: unseeded generator draws OS entropy.
+    return np.random.default_rng()
+
+
+def stamped_counter(count: int) -> tuple[float, int]:
+    # Violations: absolute wall-clock reads in a counted join path.
+    stamp = time.time()
+    day = datetime.now()
+    return stamp + day.toordinal(), count

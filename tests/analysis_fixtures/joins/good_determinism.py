@@ -1,0 +1,23 @@
+"""Known-good RPL003 fixture: seeded draws, durations via perf_counter."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+
+def seeded_column(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=n)
+
+
+def derived_generator(batch_seed: int, index: int) -> np.random.Generator:
+    seq = np.random.SeedSequence(entropy=(batch_seed, index))
+    return np.random.default_rng(seq)
+
+
+def timed(n: int) -> tuple[np.ndarray, float]:
+    start = time.perf_counter()
+    column = seeded_column(n, seed=7)
+    return column, time.perf_counter() - start

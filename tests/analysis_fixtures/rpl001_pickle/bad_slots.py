@@ -1,0 +1,26 @@
+"""Known-bad RPL001 fixture: slots classes without pickle support."""
+
+
+class FrozenPoint:
+    """The PR 2 bug class: frozen slots, no explicit state methods."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FrozenPoint is immutable")
+
+
+class HalfPickled:
+    """Defines only one of the two state methods — still broken."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: object) -> None:
+        self.payload = payload
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"payload": self.payload}

@@ -1,0 +1,62 @@
+"""Known-good RPL001 fixture: every compliant shape the rule accepts."""
+
+
+class SlotPickleMixin:
+    """Stand-in for :class:`repro.geometry.slots.SlotPickleMixin`."""
+
+    __slots__ = ()
+
+    def __getstate__(self) -> dict[str, object]:
+        state: dict[str, object] = {}
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                state[name] = getattr(self, name)
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+
+class MixinBacked(SlotPickleMixin):
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = x
+        self.y = y
+
+
+class ExplicitState:
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: object) -> None:
+        self.payload = payload
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"payload": self.payload}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.payload = state["payload"]
+
+
+class InheritsCompliance(MixinBacked):
+    """Safe through a compliant scanned base class."""
+
+    __slots__ = ("z",)
+
+    def __init__(self, x: float, y: float, z: float) -> None:
+        super().__init__(x, y)
+        self.z = z
+
+
+class NoSlots:
+    """No ``__slots__`` at all — default pickling is fine."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+class EmptySlots:
+    """``__slots__ = ()`` carries no state to pickle."""
+
+    __slots__ = ()

@@ -1,0 +1,27 @@
+"""Known-bad RPL004 fixture: tagged kernels whose contract is broken."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vectorize import vectorized_kernel
+
+
+@vectorized_kernel
+def orphan_join(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Tagged vectorized, but no ``orphan_join_reference`` exists."""
+    return a[:, None] * b[None, :]
+
+
+@vectorized_kernel
+def untested_join(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Has a twin, but no test file references the pair."""
+    return a[:, None] + b[None, :]
+
+
+def untested_join_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty((len(a), len(b)))
+    for i, left in enumerate(a):
+        for j, right in enumerate(b):
+            out[i, j] = left + right
+    return out

@@ -1,0 +1,25 @@
+"""Known-good RPL004 fixture: kernel + twin + referenced by a test."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vectorize import vectorized_kernel
+
+
+@vectorized_kernel
+def paired_join(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.minimum(a[:, None], b[None, :])
+
+
+def paired_join_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty((len(a), len(b)))
+    for i, left in enumerate(a):
+        for j, right in enumerate(b):
+            out[i, j] = min(left, right)
+    return out
+
+
+def untagged_helper(a: np.ndarray) -> np.ndarray:
+    """No decorator, no contract — the rule ignores it."""
+    return np.sort(a)

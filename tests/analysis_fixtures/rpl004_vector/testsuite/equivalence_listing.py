@@ -1,0 +1,9 @@
+"""Fixture 'test suite' the RPL004 rule scans for kernel references.
+
+Named without a ``test_`` prefix so pytest never collects it; the rule
+only greps text.  It references ``paired_join`` and
+``paired_join_reference`` (satisfying the good kernel) but neither
+``untested_join`` pair member together with the other.
+"""
+
+REFERENCED = ("paired_join", "paired_join_reference", "untested_join")

@@ -1,0 +1,34 @@
+"""Known-bad RPL005 fixture: every ad-hoc REPRO_* access shape."""
+
+from __future__ import annotations
+
+import os
+from os import environ, getenv
+
+
+def subscript_read() -> str:
+    return os.environ["REPRO_FIXTURE_KNOB"]
+
+
+def method_read() -> str:
+    return os.environ.get("REPRO_FIXTURE_KNOB", "0")
+
+
+def getenv_read() -> str | None:
+    return os.getenv("REPRO_FIXTURE_KNOB")
+
+
+def imported_environ_read() -> str:
+    return environ["REPRO_FIXTURE_KNOB"]
+
+
+def imported_getenv_read() -> str | None:
+    return getenv("REPRO_FIXTURE_KNOB")
+
+
+def setdefault_write() -> str:
+    return os.environ.setdefault("REPRO_FIXTURE_KNOB", "1")
+
+
+def subscript_write(value: str) -> None:
+    os.environ["REPRO_FIXTURE_KNOB"] = value

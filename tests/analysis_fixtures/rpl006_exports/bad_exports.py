@@ -1,0 +1,11 @@
+"""Known-bad RPL006 fixture: stale __all__ and a stale re-export."""
+
+from __future__ import annotations
+
+from analysis_fixtures.rpl006_exports.provider import real_function
+from analysis_fixtures.rpl006_exports.provider import vanished_helper
+
+__all__ = [
+    "real_function",
+    "renamed_long_ago",
+]

@@ -1,0 +1,20 @@
+"""Known-good RPL006 fixture: __all__ and re-exports all resolve."""
+
+from __future__ import annotations
+
+from analysis_fixtures.rpl006_exports import provider
+from analysis_fixtures.rpl006_exports.provider import (
+    REAL_CONSTANT,
+    real_function,
+)
+from .provider import real_function as aliased_function
+
+__all__ = [
+    "provider",
+    "REAL_CONSTANT",
+    "real_function",
+    "aliased_function",
+    "LOCAL_VALUE",
+]
+
+LOCAL_VALUE = REAL_CONSTANT + 1

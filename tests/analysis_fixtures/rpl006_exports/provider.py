@@ -1,0 +1,10 @@
+"""RPL006 fixture dependency: defines exactly two public names."""
+
+from __future__ import annotations
+
+
+def real_function(x: int) -> int:
+    return x + 1
+
+
+REAL_CONSTANT = 42

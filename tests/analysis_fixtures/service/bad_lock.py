@@ -1,0 +1,42 @@
+"""Known-bad RPL002 fixture: three lock-discipline violations.
+
+The module lives under a ``service`` path segment, so the rule is in
+scope exactly as it is for :mod:`repro.service`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class LeakyService:
+    """A service whose locking went wrong in every checked way."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._catalog: dict[str, object] = {}
+        self._cache: dict[str, object] = {}
+
+    def lookup(self, name: str) -> object | None:
+        # Violation 1: public method reads guarded state unlocked.
+        return self._catalog.get(name)
+
+    def _evict(self, name: str) -> None:
+        # Lock-assuming helper (guarded access, no lock of its own) —
+        # fine on its own, the call sites decide.
+        self._cache.pop(name, None)
+
+    def invalidate(self, name: str) -> None:
+        # Violation 2: calls the lock-assuming helper without the lock.
+        self._evict(name)
+
+    def refresh(self, name: str, value: object) -> None:
+        with self._lock:
+            self._catalog[name] = value
+            # Violation 3: public method invoked while holding the
+            # lock (deadlock shape).
+            self.notify(name)
+
+    def notify(self, name: str) -> None:
+        with self._lock:
+            self._cache[name] = object()

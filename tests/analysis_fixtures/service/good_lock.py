@@ -1,0 +1,51 @@
+"""Known-good RPL002 fixture: the blessed locking conventions."""
+
+from __future__ import annotations
+
+import threading
+
+
+class TidyService:
+    """Public wrappers lock; private helpers assume the lock is held."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._catalog: dict[str, object] = {}
+        self._cache: dict[str, object] = {}
+        # __init__ may touch guarded state freely: the object is not
+        # shared yet.
+        self._catalog["bootstrap"] = object()
+
+    def lookup(self, name: str) -> object | None:
+        with self._lock:
+            return self._catalog.get(name)
+
+    def _evict(self, name: str) -> None:
+        # Lock-assuming helper: every call site holds the lock.
+        self._cache.pop(name, None)
+
+    def invalidate(self, name: str) -> None:
+        with self._lock:
+            self._evict(name)
+
+    def refresh(self, name: str, value: object) -> None:
+        with self._lock:
+            self._catalog[name] = value
+            self._notify(name)
+
+    def _notify(self, name: str) -> None:
+        self._cache[name] = object()
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return dict(self._catalog)
+
+
+class Lockless:
+    """No ``self._lock`` at all — out of the rule's scope."""
+
+    def __init__(self) -> None:
+        self._catalog: dict[str, object] = {}
+
+    def lookup(self, name: str) -> object | None:
+        return self._catalog.get(name)

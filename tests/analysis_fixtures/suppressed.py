@@ -1,0 +1,21 @@
+"""Fixture proving ``# repro: ignore[...]`` silences exactly one line."""
+
+from __future__ import annotations
+
+
+class QuietlyUnpicklable:  # repro: ignore[RPL001]
+    """Would violate RPL001, but the line carries a suppression."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+class LoudlyUnpicklable:
+    """Same shape, no suppression — still flagged."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value

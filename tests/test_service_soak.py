@@ -17,7 +17,6 @@ Deterministic under ``-p no:randomly``: the request schedule derives
 from one fixed seed.
 """
 
-import os
 import random
 
 import pytest
@@ -25,11 +24,12 @@ import pytest
 from repro.datagen import scaled_space, uniform_dataset
 from repro.engine import JoinRequest
 from repro.geometry.box import Box
+from repro.core.config import soak_requests
 from repro.service import SpatialQueryService
 
 #: Total join submissions; the CI soak step raises this into the
 #: thousands, the default keeps tier-1 in the seconds range.
-SOAK_REQUESTS = int(os.environ.get("REPRO_SOAK_REQUESTS", "600"))
+SOAK_REQUESTS = soak_requests()
 
 #: Result-cache bound, deliberately far below the distinct key count.
 CACHE_BOUND = 6

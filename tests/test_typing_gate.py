@@ -1,0 +1,26 @@
+"""The mypy --strict gate over the typed core packages.
+
+Runs only where mypy is installed (it is in requirements-dev.txt and
+CI's `lint` job); in environments without it the gate is CI's job and
+this test skips rather than failing the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+mypy_api = pytest.importorskip(
+    "mypy.api", reason="mypy not installed; the CI lint job runs this gate"
+)
+
+
+def test_strict_gate_is_clean(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.chdir(REPO_ROOT)
+    stdout, stderr, code = mypy_api.run(
+        ["--config-file", "mypy.ini"]
+    )
+    assert code == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
