@@ -42,6 +42,14 @@ The comparison fails (exit code 1) when
 * the filter-phase kernels fall below ``--min-filter-speedup``
   (default 3×) over the reference implementations, or stop agreeing
   with them;
+* the vectorized refinement kernel falls below
+  ``--min-refine-speedup`` (default 3×) over its element-at-a-time
+  reference, or accepts a different pair set;
+* the shared-memory dataset transport falls below
+  ``--min-shm-delivery-speedup`` (default 2×) over pickling on the
+  delivery micro-benchmark, changes any batch counter with
+  ``REPRO_SHM`` flipped, or regresses the end-to-end cold batch past
+  the wall tolerance;
 * the service layer's result cache stops serving repeated joins
   byte-identically, deflects no traffic, or falls below
   ``--min-cache-speedup`` (default 20×) warm-vs-cold;
@@ -80,7 +88,10 @@ from repro.joins.plane_sweep import (  # noqa: E402
     plane_sweep_join_reference,
 )
 
-SCHEMA_VERSION = 3  # v3: adds the "planner" cost-based-planning section
+# v3: adds the "planner" cost-based-planning section
+# v4: adds the "refine_phase" (vectorized cylinder refinement) and
+#     "cold_batch" (shared-memory dataset delivery) sections
+SCHEMA_VERSION = 4
 
 #: The pinned suite: experiment name -> harness entry point.
 SUITE = {
@@ -176,6 +187,183 @@ def measure_filter_phase(scale: float) -> dict:
             "tests_equal": int(ps_tests) == int(ps_ref_tests),
         },
     }
+
+
+def measure_refine_phase(scale: float) -> dict:
+    """Vectorized vs reference cylinder refinement on the brain model.
+
+    PR 7 batched the refinement step (segment/segment distances over
+    the whole candidate array instead of a Python loop per pair); its
+    acceptance hangs on this number: same accepted pair set, wall-clock
+    speedup recorded and gated.  The candidate set is the exact MBB
+    overlap set, so the measured kernel is the one the synapse pipeline
+    runs.  Measured at the full model size in *every* profile (like
+    the planner-overhead probe): a smoke-scale candidate set is small
+    enough that the measurement would be per-call overhead, not the
+    kernel.
+    """
+    import numpy as np
+
+    from repro.datagen.neuro import neuro_model
+    from repro.refine import refine_pairs, refine_pairs_reference
+
+    del scale  # pinned size in every profile; see docstring
+    n_total = 20_000
+    model = neuro_model(n_total, seed=11, space=scaled_space(n_total))
+    idx = model.axons.boxes.pairwise_intersections(model.dendrites.boxes)
+    candidates = np.column_stack(
+        [model.axons.ids[idx[:, 0]], model.dendrites.ids[idx[:, 1]]]
+    ).astype(np.int64)
+
+    vec_s, vec_pairs = _time(
+        refine_pairs, candidates, model.axon_cylinders,
+        model.dendrite_cylinders,
+    )
+    ref_s, ref_pairs = _time(
+        refine_pairs_reference, candidates, model.axon_cylinders,
+        model.dendrite_cylinders,
+    )
+    accepted_equal = [tuple(p) for p in vec_pairs] == [
+        (int(i), int(j)) for i, j in ref_pairs
+    ]
+    return {
+        "workload": "neuro-synapses",
+        "n_total": n_total,
+        "candidates": int(len(candidates)),
+        "accepted": int(len(vec_pairs)),
+        "vectorized_s": round(vec_s, 6),
+        "reference_s": round(ref_s, 6),
+        "speedup": round(ref_s / max(vec_s, 1e-9), 2),
+        "accepted_equal": bool(accepted_equal),
+    }
+
+
+def _delivery_probe(payload: object) -> tuple[int, float]:
+    """Worker-side delivery check: touch the arrays, return a checksum.
+
+    ``payload`` is either a pickled-through Dataset or a
+    :class:`~repro.storage.shm.SharedDatasetRef`; the returned sums
+    prove the worker saw the same bytes either way while staying cheap
+    enough (microseconds) that the measurement is delivery cost, not
+    compute.
+    """
+    from repro.storage.shm import SharedDatasetRef, attach_dataset
+
+    dataset = (
+        attach_dataset(payload)
+        if isinstance(payload, SharedDatasetRef)
+        else payload
+    )
+    return int(dataset.ids.sum()), float(dataset.boxes.lo.sum())
+
+
+def measure_cold_batch(scale: float) -> dict:
+    """Shared-memory dataset delivery vs pickling, micro and end-to-end.
+
+    Two measurements, one optimization:
+
+    * **delivery** — the isolated submission cost the shm transport
+      removes, at the full Table I size in *every* profile (like the
+      planner-overhead probe: at smoke sizes the pipes are never the
+      bottleneck and the ratio would measure pool fixed costs).  One
+      warm process pool runs the same trivial probe over the same
+      dataset shipped 16 times as a pickle and 16 times as a published
+      shared-memory ref; both sides return checksums that must agree.
+      This ratio is the gated win: refs are a few hundred bytes while
+      pickles scale with the dataset.
+    * **batch** — the paper-shaped end to end: a Table-I request ladder
+      through ``BatchExecutor`` with ``REPRO_SHM`` on and off.  Join
+      compute dominates delivery here by construction, so the gate is
+      *no regression* (within the wall tolerance) plus byte-identical
+      counters — the transport must never change an answer.
+    """
+    import concurrent.futures
+
+    from repro.datagen import uniform_dataset as _uniform
+    from repro.engine import BatchExecutor, JoinRequest
+    from repro.storage.shm import SharedDatasetPool, shm_available
+
+    out: dict = {"shm_available": bool(shm_available())}
+
+    # --- delivery micro-benchmark (pinned full size) -------------------
+    if shm_available():
+        n = 14_000
+        space = scaled_space(2 * n)
+        dataset = _uniform(n, seed=31, name="uniformA", space=space)
+        tasks = 16
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            # Warm the pool so fork/import cost hits neither side.
+            list(pool.map(_delivery_probe, [dataset, dataset]))
+
+            def _ship(payloads):
+                return [
+                    f.result()
+                    for f in [
+                        pool.submit(_delivery_probe, p) for p in payloads
+                    ]
+                ]
+
+            pickle_s, pickle_sums = _time(
+                _ship, [dataset] * tasks, repeats=3
+            )
+            with SharedDatasetPool(enabled=True) as pages:
+                ref = pages.publish(dataset)
+                shm_s, shm_sums = _time(_ship, [ref] * tasks, repeats=3)
+        out["delivery"] = {
+            "n_per_side": n,
+            "tasks": tasks,
+            "pickle_s": round(pickle_s, 6),
+            "shm_s": round(shm_s, 6),
+            "speedup": round(pickle_s / max(shm_s, 1e-9), 2),
+            "checksums_equal": pickle_sums == shm_sums,
+        }
+
+    # --- end-to-end Table-I batch, transport on vs off -----------------
+    sizes = scale_counts([6_000, 10_000, 14_000], scale)
+    requests = []
+    for n in sizes:
+        space = scaled_space(2 * n)
+        a = _uniform(n, seed=31, name="uniformA", space=space)
+        b = _uniform(n, seed=32, name="uniformB", id_offset=10**9, space=space)
+        requests.extend(
+            JoinRequest(a, b, algorithm=algo, label=f"{algo}@{n}")
+            for algo in ("transformers", "pbsm", "rtree")
+        )
+
+    def _run_batch(shm_flag: str):
+        with env_override("REPRO_SHM", shm_flag):
+            t0 = time.perf_counter()
+            batch = BatchExecutor(max_workers=2, seed=7).run(requests)
+            wall = time.perf_counter() - t0
+        batch.raise_failures()
+        return wall, batch
+
+    pickle_wall, pickle_batch = _run_batch("0")
+    shm_wall, shm_batch = _run_batch("1")
+    counters_identical = all(
+        s.result.pairs.tobytes() == p.result.pairs.tobytes()
+        and s.intersection_tests == p.intersection_tests
+        for s, p in zip(shm_batch.reports, pickle_batch.reports)
+    )
+    out["batch"] = {
+        "sizes": list(sizes),
+        "requests": len(requests),
+        "workers": 2,
+        "pickle_wall_s": round(pickle_wall, 6),
+        "shm_wall_s": round(shm_wall, 6),
+        "speedup": round(pickle_wall / max(shm_wall, 1e-9), 3),
+        "counters_identical": bool(counters_identical),
+        "rows": [
+            {
+                "label": request.label,
+                "algorithm": report.algorithm,
+                "pairs": int(report.pairs_found),
+                "tests": int(report.intersection_tests),
+            }
+            for request, report in zip(requests, shm_batch.reports)
+        ],
+    }
+    return out
 
 
 def measure_service(scale: float) -> dict:
@@ -414,6 +602,27 @@ def run_profile(name: str) -> dict:
         f"grid-hash {fp['grid_hash']['speedup']}x, "
         f"plane-sweep {fp['plane_sweep']['speedup']}x vs reference"
     )
+    out["refine_phase"] = measure_refine_phase(scale)
+    rp = out["refine_phase"]
+    print(
+        f"[{name}] refine phase @ n={rp['n_total']}: "
+        f"{rp['speedup']}x vs reference over {rp['candidates']} "
+        f"candidates, accepted_equal={rp['accepted_equal']}"
+    )
+    out["cold_batch"] = measure_cold_batch(scale)
+    cb = out["cold_batch"]
+    if "delivery" in cb:
+        print(
+            f"[{name}] shm delivery @ n={cb['delivery']['n_per_side']}: "
+            f"{cb['delivery']['speedup']}x vs pickling "
+            f"({cb['delivery']['tasks']} shipments)"
+        )
+    print(
+        f"[{name}] cold batch ({cb['batch']['requests']} requests): "
+        f"shm {cb['batch']['shm_wall_s']:.2f}s vs pickle "
+        f"{cb['batch']['pickle_wall_s']:.2f}s, counters_identical="
+        f"{cb['batch']['counters_identical']}"
+    )
     out["service"] = measure_service(scale)
     sv = out["service"]
     print(
@@ -458,6 +667,8 @@ def compare_profile(
     min_cache_speedup: float,
     max_planner_regret: float = 1.5,
     max_planner_overhead: float = 0.05,
+    min_refine_speedup: float = 3.0,
+    min_shm_delivery_speedup: float = 2.0,
 ) -> list[str]:
     """Failures of ``current`` against ``baseline`` (empty = pass)."""
     failures: list[str] = []
@@ -508,6 +719,65 @@ def compare_profile(
             failures.append(
                 f"{profile}: {kernel} filter-phase speedup "
                 f"{k['speedup']}x below the {min_filter_speedup}x floor"
+            )
+
+    # Refinement-kernel gate: like the filter kernels, the vectorized
+    # refinement must agree exactly with its reference and clear a
+    # speedup floor (tolerated as absent in pre-refine baselines, but
+    # always gated on the current run).
+    refine = current.get("refine_phase")
+    if refine is not None:
+        if not refine["accepted_equal"]:
+            failures.append(
+                f"{profile}: vectorized refinement accepts a different "
+                "pair set than the reference implementation"
+            )
+        if refine["speedup"] < min_refine_speedup:
+            failures.append(
+                f"{profile}: refine-phase speedup {refine['speedup']}x "
+                f"below the {min_refine_speedup}x floor"
+            )
+
+    # Shared-memory transport gate: the delivery micro-benchmark must
+    # clear its floor with equal checksums, and the end-to-end batch
+    # must keep byte-identical counters and not regress past the wall
+    # tolerance (the transport is an optimization, never a semantics
+    # change).  Both ratios are in-process comparisons, so no machine
+    # normalisation applies.
+    cold_batch = current.get("cold_batch")
+    if cold_batch is not None:
+        delivery = cold_batch.get("delivery")
+        if delivery is not None:
+            if not delivery["checksums_equal"]:
+                failures.append(
+                    f"{profile}: shm-delivered dataset disagrees with "
+                    "the pickled one"
+                )
+            if delivery["speedup"] < min_shm_delivery_speedup:
+                failures.append(
+                    f"{profile}: shm delivery speedup "
+                    f"{delivery['speedup']}x below the "
+                    f"{min_shm_delivery_speedup}x floor"
+                )
+        batch = cold_batch["batch"]
+        if not batch["counters_identical"]:
+            failures.append(
+                f"{profile}: batch counters differ between REPRO_SHM=1 "
+                "and REPRO_SHM=0 — the transport changed an answer"
+            )
+        if batch["shm_wall_s"] > batch["pickle_wall_s"] * (
+            1.0 + wall_tolerance
+        ):
+            failures.append(
+                f"{profile}: shm batch wall {batch['shm_wall_s']:.2f}s "
+                f"regressed past pickling "
+                f"{batch['pickle_wall_s']:.2f}s + {wall_tolerance:.0%}"
+            )
+        base_batch = baseline.get("cold_batch", {}).get("batch")
+        if base_batch is not None and batch["rows"] != base_batch["rows"]:
+            failures.append(
+                f"{profile}/cold_batch: deterministic batch counters "
+                "(pairs/tests per request) drifted from the baseline"
             )
 
     # Service-layer gate: properties of the *current* run (the speedup
@@ -619,6 +889,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="allowed sketch+planning share of a cold join's wall-clock "
         "(default 0.05)",
     )
+    parser.add_argument(
+        "--min-refine-speedup", type=float, default=3.0,
+        help="required refine-phase speedup over the reference kernel "
+        "(default 3.0)",
+    )
+    parser.add_argument(
+        "--min-shm-delivery-speedup", type=float, default=2.0,
+        help="required shared-memory dataset-delivery speedup over "
+        "pickling (default 2.0)",
+    )
     args = parser.parse_args(argv)
 
     names = list(PROFILES) if args.profile == "all" else [args.profile]
@@ -648,7 +928,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                     result["profiles"][name], base_profile, name,
                     args.wall_tolerance, args.min_filter_speedup,
                     args.min_cache_speedup, args.max_planner_regret,
-                    args.max_planner_overhead,
+                    args.max_planner_overhead, args.min_refine_speedup,
+                    args.min_shm_delivery_speedup,
                 )
             )
         if failures:

@@ -59,8 +59,10 @@ def main(n_total: int = 20_000) -> None:
     print("every synapse candidate pair is identical across algorithms ✓")
 
     # Refinement: confirm true synapses among the MBB candidates with
-    # exact cylinder-cylinder intersection tests.
-    candidates = tr.pair_set()
+    # exact cylinder-cylinder intersection tests.  The filter's (m, 2)
+    # id-pair array flows into the batched refinement as-is — no
+    # per-pair Python tuples anywhere in the pipeline.
+    candidates = tr.result.pairs
     synapses = refine_pairs(
         candidates, model.axon_cylinders, model.dendrite_cylinders
     )

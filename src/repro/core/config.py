@@ -111,6 +111,18 @@ ENV_REGISTRY: tuple[EnvVar, ...] = (
         ),
     ),
     EnvVar(
+        name="REPRO_SHM",
+        kind="bool",
+        default=True,
+        description=(
+            "Ship concrete datasets to batch-executor workers through "
+            "multiprocessing shared memory (workers attach to one "
+            "published copy). Set to 0 to force the per-worker "
+            "pickling fallback; results are byte-identical either "
+            "way."
+        ),
+    ),
+    EnvVar(
         name="REPRO_SOAK_REQUESTS",
         kind="int",
         default=600,
@@ -244,6 +256,11 @@ def bench_workers() -> int:
 def bench_scale() -> float:
     """``REPRO_BENCH_SCALE``: benchmark dataset scale factor."""
     return env_float("REPRO_BENCH_SCALE")
+
+
+def shm_transport_enabled() -> bool:
+    """``REPRO_SHM``: ship batch datasets via shared memory?"""
+    return env_bool("REPRO_SHM")
 
 
 def soak_requests() -> int:

@@ -46,6 +46,11 @@ from repro.engine.planner import plan_join
 from repro.engine.report import RunReport
 from repro.joins.base import CostModel, Dataset, SpatialJoinAlgorithm
 from repro.storage.disk import DiskModel
+from repro.storage.shm import (
+    SharedDatasetPool,
+    SharedDatasetRef,
+    attach_dataset,
+)
 
 
 # ----------------------------------------------------------------------
@@ -115,6 +120,13 @@ def _generators():
     )
 
 
+def _side_name(side: object) -> str:
+    """Display name of a request side (dataset, spec, or shm ref)."""
+    if isinstance(side, DatasetSpec):
+        return side.name or side.kind
+    return str(side.name)
+
+
 @dataclass(frozen=True)
 class JoinRequest:
     """One join to run: inputs, algorithm, planner parameters.
@@ -123,14 +135,24 @@ class JoinRequest:
     :class:`~repro.joins.base.SpatialJoinAlgorithm` instance.  ``space``
     and ``parameters`` are planner inputs and therefore only apply to
     registry names (matching ``SpatialWorkspace.join``).
+
+    ``within=d`` requests a Chebyshev distance join (see
+    ``SpatialWorkspace.join``); ``None`` is the plain intersection
+    join.
+
+    A side may also be a :class:`~repro.storage.shm.SharedDatasetRef`:
+    the executor substitutes refs for concrete datasets before
+    submitting to the pool so workers attach to one published
+    shared-memory copy instead of each unpickling their own.
     """
 
-    a: Dataset | DatasetSpec
-    b: Dataset | DatasetSpec
+    a: Dataset | DatasetSpec | SharedDatasetRef
+    b: Dataset | DatasetSpec | SharedDatasetRef
     algorithm: str | SpatialJoinAlgorithm = "auto"
     space: object | None = None
     parameters: dict[str, object] | None = None
     label: str = ""
+    within: float | None = None
 
     def describe(self) -> str:
         """Short human-readable identification for reports and errors."""
@@ -141,9 +163,10 @@ class JoinRequest:
             if isinstance(self.algorithm, str)
             else self.algorithm.name
         )
-        name_a = self.a.name if isinstance(self.a, Dataset) else self.a.kind
-        name_b = self.b.name if isinstance(self.b, Dataset) else self.b.kind
-        return f"{algo}({name_a}, {name_b})"
+        base = f"{algo}({_side_name(self.a)}, {_side_name(self.b)})"
+        if self.within is not None:
+            return f"{base} within={self.within:g}"
+        return base
 
 
 def derive_seed(batch_seed: int, index: int, side: int = 0) -> int:
@@ -354,6 +377,13 @@ def _realize_pair(
     from repro.datagen import scaled_space
 
     a, b = request.a, request.b
+    # Shared-memory refs resolve first (cheap: segments attach once per
+    # worker and the arrays are zero-copy views), so the spec logic
+    # below sees ordinary concrete datasets.
+    if isinstance(a, SharedDatasetRef):
+        a = attach_dataset(a)
+    if isinstance(b, SharedDatasetRef):
+        b = attach_dataset(b)
     shared = None
     if isinstance(a, DatasetSpec) or isinstance(b, DatasetSpec):
         n_a = a.n if isinstance(a, DatasetSpec) else len(a)
@@ -415,6 +445,7 @@ def _execute_request(
             algorithm=request.algorithm,
             space=request.space,
             parameters=request.parameters,
+            within=request.within,
         )
     except Exception as exc:
         outcome.error = f"{exc}\n{traceback.format_exc()}"
@@ -510,8 +541,39 @@ class BatchExecutor:
             cost_model=self.cost_model,
         )
 
+    @staticmethod
+    def _with_shared_pages(
+        request: JoinRequest, pages: SharedDatasetPool
+    ) -> JoinRequest:
+        """The request with concrete datasets swapped for shm refs.
+
+        Returns the request unchanged when nothing was published
+        (pool disabled, empty sides, specs) — the pickling fallback.
+        """
+        a: object = request.a
+        b: object = request.b
+        if isinstance(a, Dataset):
+            a = pages.publish(a) or a
+        if isinstance(b, Dataset):
+            b = pages.publish(b) or b
+        if a is request.a and b is request.b:
+            return request
+        return dataclasses.replace(request, a=a, b=b)
+
     def _run_pooled(self, requests: list[JoinRequest]) -> list[RequestOutcome]:
-        """Fan requests across a process pool, isolating failures."""
+        """Fan requests across a process pool, isolating failures.
+
+        Concrete datasets are published to shared memory once per
+        distinct content (see :mod:`repro.storage.shm`) and shipped as
+        tiny refs; the segments are released only after every worker
+        has finished, so attaches can never race the unlink.
+        """
+        with SharedDatasetPool() as pages:
+            return self._run_pooled_shared(requests, pages)
+
+    def _run_pooled_shared(
+        self, requests: list[JoinRequest], pages: SharedDatasetPool
+    ) -> list[RequestOutcome]:
         outcomes: list[RequestOutcome] = []
         broken: list[tuple[int, JoinRequest]] = []
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
@@ -521,7 +583,7 @@ class BatchExecutor:
                     future = pool.submit(
                         _execute_request,
                         i,
-                        req,
+                        self._with_shared_pages(req, pages),
                         self.seed,
                         self.disk_model,
                         self.cost_model,

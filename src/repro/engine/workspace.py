@@ -169,6 +169,16 @@ class SpatialWorkspace:
         self._sketches: OrderedDict[int, tuple[Dataset, object]] = (
             OrderedDict()
         )
+        #: Enlarged-dataset memo for distance joins, keyed by
+        #: ``(id(dataset), distance)`` (same LRU bound and id()-keying
+        #: invariant as the index cache: entries pin the source
+        #: dataset).  Repeated ``within=d`` joins therefore reuse one
+        #: enlarged ``Dataset`` object — and through it that object's
+        #: cached index — instead of enlarging and re-indexing each
+        #: time.
+        self._enlarged: OrderedDict[
+            tuple[int, float], tuple[Dataset, Dataset]
+        ] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -246,6 +256,31 @@ class SpatialWorkspace:
                 self._sketches.popitem(last=False)
         return sketch
 
+    def _enlarged_for(self, dataset: Dataset, within: float) -> Dataset:
+        """The memoised enlarged copy of ``dataset`` for a ``within`` join.
+
+        Zero is the identity (no copy, no memo entry), so a
+        ``within=0.0`` join sees the *same* dataset object — and
+        therefore the same index-cache entries — as a plain
+        intersection join.
+        """
+        from repro.joins.distance import enlarged_dataset
+
+        distance = float(within)
+        if distance == 0.0:
+            return dataset
+        key = (id(dataset), distance)
+        entry = self._enlarged.get(key)
+        if entry is not None and entry[0] is dataset:
+            self._enlarged.move_to_end(key)
+            return entry[1]
+        grown = enlarged_dataset(dataset, distance)
+        self._enlarged[key] = (dataset, grown)
+        if self.max_cached_indexes is not None:
+            while len(self._enlarged) > self.max_cached_indexes:
+                self._enlarged.popitem(last=False)
+        return grown
+
     def drop_indexes(self) -> None:
         """Forget every cached index (pages stay allocated on disk).
 
@@ -253,6 +288,7 @@ class SpatialWorkspace:
         """
         self._cache.clear()
         self._sketches.clear()
+        self._enlarged.clear()
 
     def forget(self, dataset: Dataset | str) -> int:
         """Drop every cached index (and sketch) of one dataset.
@@ -274,6 +310,18 @@ class SpatialWorkspace:
             del self._cache[key]
         if not isinstance(dataset, str):
             self._sketches.pop(id(dataset), None)
+            for key in [
+                k for k in self._enlarged if k[0] == id(dataset)
+            ]:
+                # The enlarged copies (and their cached indexes, keyed
+                # by the copies' own ids above) die with the source.
+                grown = self._enlarged.pop(key)[1]
+                doomed_grown = [
+                    k for k in self._cache if k[0] == id(grown)
+                ]
+                for k in doomed_grown:
+                    del self._cache[k]
+                doomed.extend(doomed_grown)
         return len(doomed)
 
     def _cache_store(self, key: tuple[object, str], entry: _CachedIndex) -> None:
@@ -298,6 +346,7 @@ class SpatialWorkspace:
         parameters: dict[str, object] | None = None,
         reuse_indexes: bool = True,
         explain: bool = False,
+        within: float | None = None,
     ) -> RunReport:
         """Join two datasets and return a structured :class:`RunReport`.
 
@@ -306,6 +355,16 @@ class SpatialWorkspace:
         to let the planner decide, or a pre-configured
         :class:`SpatialJoinAlgorithm` instance.  ``space`` and
         ``parameters`` are forwarded to the planner.
+
+        ``within=d`` turns the join into a **distance join** under the
+        Chebyshev (L∞) predicate via the paper's enlargement reduction
+        (Section VIII): side ``a`` is enlarged by ``d`` and the join
+        proceeds as a plain intersection join — through the same
+        planner, index cache and reporting.  Enlarged datasets are
+        memoised per ``(dataset, d)``, so repeated distance joins reuse
+        the enlarged side's index; ``within=0.0`` is the identity and
+        behaves exactly like the intersection join.  See
+        :mod:`repro.joins.distance` for the predicate semantics.
 
         ``"auto"`` resolves through the cost-based planner by default
         (see :func:`~repro.engine.planner.plan_join`); the resulting
@@ -319,6 +378,8 @@ class SpatialWorkspace:
         the join result pairs ids up, so overlapping id spaces would
         silently corrupt pair semantics.
         """
+        if within is not None:
+            a = self._enlarged_for(a, within)
         self._validate_disjoint_ids(a, b)
         plan: JoinPlan | None = None
         plan_report: PlanReport | None = None

@@ -13,6 +13,14 @@ predicate: ``L∞ <= L2``), matching how the filter step elsewhere
 over-approximates exact geometry; a Euclidean-exact distance join would
 apply the application's refinement on top, like
 :mod:`repro.refine` does for intersection joins.
+
+The recommended entry point is
+``SpatialWorkspace.join(a, b, within=d)`` (or a
+:class:`~repro.engine.executor.JoinRequest` with ``within=d`` through
+the service layer): that routes the enlargement through the planner,
+the index cache and the structured :class:`~repro.engine.report.RunReport`.
+The :func:`distance_join` function below is a thin shim over that path
+for callers holding a bare algorithm instance and disk.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.joins.base import (
     SpatialJoinAlgorithm,
 )
 from repro.storage.disk import SimulatedDisk
+from repro.storage.shm import content_fingerprint
 
 
 def enlarged_dataset(dataset: Dataset, distance: float) -> Dataset:
@@ -32,13 +41,26 @@ def enlarged_dataset(dataset: Dataset, distance: float) -> Dataset:
     Growing one side by the full predicate (rather than both by half)
     keeps the other dataset untouched, so its existing index remains
     valid — the index-reuse property extends to distance joins.
+
+    Identity is content-based: ``distance=0`` returns ``dataset``
+    itself (growing by zero changes no geometry, so inventing a new
+    name — let alone a new object — would only split caches), and a
+    genuinely grown copy is named by its *content fingerprint*, so two
+    different source datasets can never collide on the derived name
+    the way ``f"{name}+{distance}"`` allowed.
     """
     if distance < 0:
         raise ValueError("distance must be non-negative")
+    if distance == 0:
+        return dataset
+    boxes = BoxArray(
+        dataset.boxes.lo - distance, dataset.boxes.hi + distance
+    )
+    fingerprint = content_fingerprint(dataset.ids, boxes.lo, boxes.hi)
     return Dataset(
-        name=f"{dataset.name}+{distance:g}",
+        name=f"{dataset.name}+{distance:g}#{fingerprint[:12]}",
         ids=dataset.ids,
-        boxes=BoxArray(dataset.boxes.lo - distance, dataset.boxes.hi + distance),
+        boxes=boxes,
     )
 
 
@@ -51,9 +73,14 @@ def distance_join(
 ) -> JoinResult:
     """All ``(id_a, id_b)`` whose MBBs lie within Chebyshev ``distance``.
 
-    Runs ``algorithm`` (any :class:`SpatialJoinAlgorithm`) on ``a``
-    enlarged by the predicate against ``b`` unchanged.  See the module
-    docstring for the exact (L∞) semantics.
+    Thin shim over ``SpatialWorkspace.join(a, b, within=distance)``:
+    builds a workspace around ``disk``, runs ``algorithm`` (any
+    :class:`SpatialJoinAlgorithm`) on ``a`` enlarged by the predicate
+    against ``b`` unchanged, and returns the raw
+    :class:`~repro.joins.base.JoinResult`.  See the module docstring
+    for the exact (L∞) semantics; callers who want the structured
+    report, planning, or caching should use the workspace or service
+    entry points directly.
 
     >>> from repro.core import TransformersJoin
     >>> from repro.datagen import scaled_space, uniform_dataset
@@ -67,5 +94,13 @@ def distance_join(
     >>> near.stats.pairs_found >= touch.stats.pairs_found
     True
     """
-    result, _, _ = algorithm.run(disk, enlarged_dataset(a, distance), b)
-    return result
+    # Imported here: the workspace lives above the joins layer, and a
+    # module-level import would be circular.  The shim exists exactly
+    # to lift legacy callers onto that higher-level path.
+    from repro.engine.workspace import SpatialWorkspace
+
+    workspace = SpatialWorkspace(disk=disk)
+    report = workspace.join(
+        a, b, algorithm=algorithm, within=float(distance)
+    )
+    return report.result

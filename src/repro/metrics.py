@@ -95,33 +95,49 @@ class Timer(SlotPickleMixin):
     the join algorithms attribute time to phases (I/O vs. in-memory
     join) that interleave many times during one join.
 
+    Nested ``with`` blocks on one timer are re-entrant: the interval is
+    measured from the *outermost* enter to the outermost exit (depth
+    counted), so a helper that times itself inside an already-timed
+    phase neither double-counts nor — as an earlier version did —
+    silently discards the outer interval.
+
     >>> t = Timer("io")
     >>> with t:
-    ...     pass
+    ...     with t:
+    ...         pass
     >>> t.elapsed >= 0.0
     True
     """
 
-    __slots__ = ("name", "elapsed", "_start")
+    __slots__ = ("name", "elapsed", "_start", "_depth")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.elapsed = 0.0
         self._start: float | None = None
+        self._depth = 0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        if self._start is not None:
+        if self._depth == 0:
+            # __exit__ without a matching __enter__ (manual misuse):
+            # nothing is running, so there is nothing to account.
+            return
+        self._depth -= 1
+        if self._depth == 0 and self._start is not None:
             self.elapsed += time.perf_counter() - self._start
             self._start = None
 
     def reset(self) -> None:
-        """Discard accumulated time."""
+        """Discard accumulated time (and any in-flight interval)."""
         self.elapsed = 0.0
         self._start = None
+        self._depth = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timer({self.name!r}, {self.elapsed:.6f}s)"

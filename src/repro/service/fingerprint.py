@@ -21,18 +21,17 @@ algorithm/space/parameter configuration canonicalises identically.
 
 from __future__ import annotations
 
-import struct
 import weakref
-
-import numpy as np
 
 from repro.engine.workspace import algorithm_signature
 from repro.geometry.box import Box
 from repro.joins.base import Dataset, SpatialJoinAlgorithm
+from repro.storage.shm import FINGERPRINT_MAGIC, content_fingerprint
 
-#: Domain separator, versioned: bump when the canonical byte layout
-#: changes so old persisted fingerprints cannot silently alias new ones.
-_MAGIC = b"repro.dataset.v1"
+#: Domain separator — re-exported from the storage layer, which owns
+#: the canonical byte layout (the shared-memory pool keys segments by
+#: the same digest the cache keys use).
+_MAGIC = FINGERPRINT_MAGIC
 
 #: Shape of a result-cache key: both fingerprints, then the
 #: canonicalised algorithm/space/parameter signatures.
@@ -64,8 +63,6 @@ def dataset_fingerprint(dataset: Dataset) -> str:
     >>> dataset_fingerprint(d1) == dataset_fingerprint(d2)
     True
     """
-    import hashlib
-
     if not isinstance(dataset, Dataset):
         raise TypeError(
             f"dataset_fingerprint takes a Dataset, got {type(dataset).__name__}"
@@ -74,13 +71,9 @@ def dataset_fingerprint(dataset: Dataset) -> str:
     cached = _MEMO.get(memo_key)
     if cached is not None and cached[0]() is dataset:
         return cached[1]
-    digest = hashlib.sha256()
-    digest.update(_MAGIC)
-    digest.update(struct.pack("<qq", len(dataset), dataset.ndim))
-    digest.update(np.ascontiguousarray(dataset.ids, dtype="<i8").tobytes())
-    digest.update(np.ascontiguousarray(dataset.boxes.lo, dtype="<f8").tobytes())
-    digest.update(np.ascontiguousarray(dataset.boxes.hi, dtype="<f8").tobytes())
-    result = digest.hexdigest()
+    result = content_fingerprint(
+        dataset.ids, dataset.boxes.lo, dataset.boxes.hi
+    )
     _MEMO[memo_key] = (
         weakref.ref(dataset, lambda _, k=memo_key: _MEMO.pop(k, None)),
         result,
@@ -108,22 +101,41 @@ def _parameters_signature(parameters: dict[str, object] | None) -> object:
     )
 
 
+def _within_signature(within: float | None) -> float | None:
+    """Canonical form of the distance predicate.
+
+    ``within=0.0`` *is* the intersection join (enlarging boxes by zero
+    changes nothing), so it canonicalises to ``None`` — a distance-0
+    submission and a plain intersection submission share a cache slot.
+    """
+    if within is None:
+        return None
+    value = float(within)
+    if value < 0:
+        raise ValueError("within must be non-negative")
+    return None if value == 0.0 else value
+
+
 def request_cache_key(
     fingerprint_a: str,
     fingerprint_b: str,
     algorithm: str | SpatialJoinAlgorithm,
     space: object = None,
     parameters: dict[str, object] | None = None,
+    within: float | None = None,
 ) -> CacheKey:
     """The result-cache key of one join request.
 
-    ``(fingerprint_a, fingerprint_b, algorithm, params)`` — content
-    fingerprints of both sides plus the canonicalised algorithm choice
-    (a registry name, including ``"auto"``, or a configured instance's
-    :func:`~repro.engine.workspace.algorithm_signature`) and planner
-    inputs.  ``"auto"`` keys on the *request*: the planner's resolution
-    is a deterministic function of the inputs, so equal keys imply
-    equal resolved plans.
+    ``(fingerprint_a, fingerprint_b, algorithm, space, params,
+    within)`` — content fingerprints of both sides plus the
+    canonicalised algorithm choice (a registry name, including
+    ``"auto"``, or a configured instance's
+    :func:`~repro.engine.workspace.algorithm_signature`), planner
+    inputs, and the distance predicate (``None`` for plain
+    intersection; ``0.0`` canonicalises to ``None`` because enlarging
+    by zero is the identity).  ``"auto"`` keys on the *request*: the
+    planner's resolution is a deterministic function of the inputs, so
+    equal keys imply equal resolved plans.
     """
     algo_sig = (
         algorithm.strip().lower()
@@ -136,4 +148,5 @@ def request_cache_key(
         algo_sig,
         _space_signature(space),
         _parameters_signature(parameters),
+        _within_signature(within),
     )

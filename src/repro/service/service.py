@@ -13,10 +13,12 @@ time.  The service closes that gap with three long-lived pieces:
   tracking on re-registration;
 * a **result cache** (:class:`~repro.service.cache.ResultCache`) of
   finished :class:`~repro.engine.report.RunReport` objects keyed by
-  ``(fingerprint_a, fingerprint_b, algorithm, params)`` — a repeated
-  identical join is answered synchronously with the byte-identical
-  cached report; re-binding a name to new content invalidates exactly
-  the entries computed from the old content;
+  ``(fingerprint_a, fingerprint_b, algorithm, params, within)`` — a
+  repeated identical join (distance joins included: the predicate is
+  part of the key, with ``within=0.0`` sharing the plain intersection
+  slot) is answered synchronously with the byte-identical cached
+  report; re-binding a name to new content invalidates exactly the
+  entries computed from the old content;
 * a **query workspace** whose per-dataset index cache serves
   :meth:`range_query` without rebuilding indexes between calls.
 
@@ -372,6 +374,7 @@ class SpatialQueryService:
                     request.algorithm,
                     request.space,
                     request.parameters,
+                    request.within,
                 )
                 plans.append((key, dataclasses.replace(request, a=a, b=b)))
             # Phase 2: count and probe.

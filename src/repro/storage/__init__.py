@@ -15,7 +15,10 @@ stand-in for that hardware:
 * :mod:`~repro.storage.records` defines the fixed-size on-page record
   layout that determines how many spatial elements fit on a page;
 * :class:`~repro.storage.page.ElementPage` is the payload every join
-  algorithm stores per data page.
+  algorithm stores per data page;
+* :mod:`~repro.storage.shm` publishes dataset pages into
+  ``multiprocessing.shared_memory`` so batch-executor workers attach
+  to the arrays instead of unpickling a private copy each.
 
 See DESIGN.md §2 for why this substitution preserves the paper's
 measured shapes.
@@ -25,6 +28,12 @@ from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskModel, DiskStats, SimulatedDisk
 from repro.storage.page import ElementPage, element_page_capacity
 from repro.storage.records import RecordCodec
+from repro.storage.shm import (
+    SharedDatasetPool,
+    SharedDatasetRef,
+    attach_dataset,
+    content_fingerprint,
+)
 
 __all__ = [
     "BufferPool",
@@ -34,4 +43,8 @@ __all__ = [
     "ElementPage",
     "element_page_capacity",
     "RecordCodec",
+    "SharedDatasetPool",
+    "SharedDatasetRef",
+    "attach_dataset",
+    "content_fingerprint",
 ]

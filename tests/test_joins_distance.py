@@ -30,16 +30,31 @@ def brute_distance_pairs(a, b, distance):
 
 
 class TestEnlargedDataset:
-    def test_preserves_ids_and_name_suffix(self):
+    def test_preserves_ids_and_fingerprinted_name(self):
         a, _ = dataset_pair("uniform", 50, 10)
         grown = enlarged_dataset(a, 2.5)
         assert np.array_equal(grown.ids, a.ids)
-        assert grown.name.endswith("+2.5")
+        # Derived names carry the predicate for humans plus a content
+        # fingerprint for identity — distinct sources can no longer
+        # collide on the f"{name}+{distance}" scheme.
+        assert f"{a.name}+2.5#" in grown.name
         assert np.allclose(grown.boxes.lo, a.boxes.lo - 2.5)
 
-    def test_zero_distance_identity_boxes(self):
+    def test_name_cannot_collide_across_distinct_sources(self):
+        a, _ = dataset_pair("uniform", 50, 10)
+        other, _ = dataset_pair("uniform", 50, 10, seed=99)
+        same_named = type(a)(name=a.name, ids=other.ids, boxes=other.boxes)
+        assert enlarged_dataset(a, 1.0).name != (
+            enlarged_dataset(same_named, 1.0).name
+        )
+
+    def test_zero_distance_is_identity(self):
+        # Growing by zero changes no geometry: same object, same name,
+        # same fingerprint — so every id()/content-keyed cache treats
+        # the "grown" dataset and the original as one.
         a, _ = dataset_pair("uniform", 50, 10)
         grown = enlarged_dataset(a, 0.0)
+        assert grown is a
         assert np.array_equal(grown.boxes.lo, a.boxes.lo)
 
     def test_rejects_negative(self):
@@ -80,3 +95,16 @@ class TestDistanceJoin:
         a, b = dataset_pair("uniform", 200, 300, seed=seed)
         result = distance_join(TransformersJoin(), make_disk(), a, b, distance)
         assert result.pair_set() == brute_distance_pairs(a, b, distance)
+
+    def test_emits_no_deprecation_warning(self):
+        """Regression: the shim used to call the deprecated
+        SpatialJoinAlgorithm.run() and trip our own warning."""
+        import warnings
+
+        a, b = dataset_pair("uniform", 200, 300, seed=23)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = distance_join(
+                TransformersJoin(), make_disk(), a, b, 1.0
+            )
+        assert result.pair_set() == brute_distance_pairs(a, b, 1.0)

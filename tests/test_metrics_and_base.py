@@ -41,6 +41,40 @@ class TestTimer:
         t.reset()
         assert t.elapsed == 0.0
 
+    def test_nested_blocks_keep_the_outer_interval(self):
+        """Regression: re-entering a Timer restarted its clock, so the
+        outer interval before the inner block was silently discarded.
+        Nesting is now re-entrant — one interval from the outermost
+        enter to the outermost exit."""
+        import time
+
+        t = Timer("t")
+        with t:
+            time.sleep(0.02)  # work *before* the nested block
+            with t:
+                pass
+        # The pre-nesting 20ms must be part of the accounted interval.
+        assert t.elapsed >= 0.02
+
+    def test_nested_exit_does_not_end_the_outer_interval(self):
+        import time
+
+        t = Timer("t")
+        with t:
+            with t:
+                pass
+            time.sleep(0.02)  # work *after* the nested block
+        assert t.elapsed >= 0.02
+
+    def test_reset_clears_nesting_depth(self):
+        t = Timer("t")
+        with t:
+            t.reset()
+        # The interrupted outer block must not poison later use.
+        with t:
+            pass
+        assert t.elapsed >= 0.0
+
 
 class TestMetricSet:
     def test_lazily_creates(self):

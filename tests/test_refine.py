@@ -110,7 +110,9 @@ class TestRefinePairs:
             {1: a1},
             {10: b_hit, 11: b_miss},
         )
-        assert got == [(1, 10)]
+        assert isinstance(got, np.ndarray)
+        assert got.dtype == np.int64
+        assert [tuple(pair) for pair in got] == [(1, 10)]
 
     def test_missing_geometry_fails_loudly(self):
         with pytest.raises(KeyError):
@@ -118,23 +120,25 @@ class TestRefinePairs:
 
     def test_end_to_end_with_neuro_model(self):
         """Filter (TRANSFORMERS) then refine: refined synapses are a
-        subset of the candidates and match brute-force refinement."""
-        from repro.core import TransformersJoin
+        subset of the candidates and match brute-force refinement.
+
+        The filter's (m, 2) id-pair array feeds the refinement
+        directly — the array-backed pipeline, no tuple explosion.
+        """
         from repro.datagen import scaled_space
         from repro.datagen.neuro import neuro_model
-
-        from tests.conftest import make_disk
+        from repro.engine.workspace import SpatialWorkspace
 
         model = neuro_model(1200, seed=13, space=scaled_space(1200))
-        result, _, _ = TransformersJoin().run(
-            make_disk(), model.axons, model.dendrites
+        report = SpatialWorkspace().join(
+            model.axons, model.dendrites, algorithm="transformers"
         )
-        candidates = result.pair_set()
-        refined = set(
-            refine_pairs(
-                candidates, model.axon_cylinders, model.dendrite_cylinders
-            )
+        candidate_pairs = report.result.pairs
+        candidates = report.result.pair_set()
+        refined_pairs = refine_pairs(
+            candidate_pairs, model.axon_cylinders, model.dendrite_cylinders
         )
+        refined = {(int(a), int(b)) for a, b in refined_pairs}
         assert refined <= candidates
         # Brute-force the refinement over all candidates to cross-check.
         expected = {

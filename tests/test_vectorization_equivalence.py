@@ -112,3 +112,99 @@ def test_ties_and_duplicate_coordinates():
         gr, grt = grid_hash_join_reference(a, b, 4)
         assert gt == grt
         assert _pair_set(g) == _pair_set(gr)
+
+
+# ---------------------------------------------------------------------------
+# Refinement kernel: refine_pairs vs refine_pairs_reference
+# ---------------------------------------------------------------------------
+#
+# The refinement step is the one place the pipeline leaves MBBs for real
+# geometry, so its vectorization gets the same treatment as the filter
+# kernels: the batched segment/segment distance must reproduce the
+# scalar formulation *bit for bit* (both accumulate dot products
+# left-to-right for exactly this reason), and therefore the accepted
+# pair set must be identical — including on the tangent/degenerate
+# geometries where an ulp would flip a `gap <= r_a + r_b` decision.
+
+from repro.datagen import scaled_space
+from repro.datagen.neuro import neuro_model
+from repro.refine import (
+    refine_pairs,
+    refine_pairs_reference,
+    segment_distance,
+    segment_distance_batch,
+)
+
+
+def _neuro_candidates(model):
+    """All MBB-overlapping (axon_id, dendrite_id) candidate pairs."""
+    idx = model.axons.boxes.pairwise_intersections(model.dendrites.boxes)
+    return np.column_stack(
+        [model.axons.ids[idx[:, 0]], model.dendrites.ids[idx[:, 1]]]
+    ).astype(np.int64)
+
+
+@pytest.mark.parametrize("n_total,seed", [(600, 3), (1200, 13), (2000, 41)])
+def test_refine_pairs_matches_reference_on_neuro_corpus(n_total, seed):
+    model = neuro_model(n_total, seed=seed, space=scaled_space(n_total))
+    candidates = _neuro_candidates(model)
+    assert len(candidates) > 0
+    got = refine_pairs(
+        candidates, model.axon_cylinders, model.dendrite_cylinders
+    )
+    ref = refine_pairs_reference(
+        candidates, model.axon_cylinders, model.dendrite_cylinders
+    )
+    # Same accepted pairs in the same (candidate) order — not just the
+    # same set.
+    assert [tuple(p) for p in got] == [tuple(p) for p in ref]
+
+
+def test_refine_pairs_matches_reference_on_degenerate_cylinders():
+    """Points, touching capsules, parallel and collinear axes: every
+    branch of the segment-distance kernel, at the accept boundary."""
+    from repro.geometry.cylinder import Cylinder
+
+    a_cyls = {
+        1: Cylinder((0, 0, 0), (0, 0, 0), 0.5),      # degenerate point
+        2: Cylinder((0, 0, 0), (2, 0, 0), 0.5),
+        3: Cylinder((0, 0, 0), (2, 0, 0), 0.5),      # parallel source
+        4: Cylinder((0, 0, 0), (4, 0, 0), 0.25),     # collinear source
+    }
+    b_cyls = {
+        10: Cylinder((1, 0, 0), (1, 0, 0), 0.5),     # point at gap 1.0
+        11: Cylinder((0, 1.0, 0), (2, 1.0, 0), 0.5),  # touching: gap == r+r
+        12: Cylinder((0, 1.0001, 0), (2, 1.0001, 0), 0.5),  # just misses
+        13: Cylinder((2.5, 0, 0), (6, 0, 0), 0.25),  # collinear, gap 0.5
+        14: Cylinder((0, -2, 1), (0, 2, 1), 0.4),    # skew cross
+    }
+    candidates = [
+        (i, j) for i in sorted(a_cyls) for j in sorted(b_cyls)
+    ]
+    got = refine_pairs(candidates, a_cyls, b_cyls)
+    ref = refine_pairs_reference(candidates, a_cyls, b_cyls)
+    assert [tuple(p) for p in got] == [tuple(p) for p in ref]
+    # The corpus is meaningfully selective in both directions.
+    assert 0 < len(got) < len(candidates)
+
+
+def test_segment_distance_batch_is_bit_exact_with_scalar():
+    """Bitwise equality, not approx: the batched kernel mirrors the
+    scalar accumulation order so tangency decisions can never differ."""
+    rng = np.random.default_rng(20160517)
+    n = 500
+    p0 = rng.uniform(-5, 5, (n, 3))
+    p1 = rng.uniform(-5, 5, (n, 3))
+    q0 = rng.uniform(-5, 5, (n, 3))
+    q1 = rng.uniform(-5, 5, (n, 3))
+    # Inject degeneracies: points, shared endpoints, parallel pairs.
+    p1[::7] = p0[::7]
+    q1[::11] = q0[::11]
+    q0[::13] = p0[::13]
+    shift = np.array([0.0, 1.0, 0.0])
+    q0[::17] = p0[::17] + shift
+    q1[::17] = p1[::17] + shift
+    batch = segment_distance_batch(p0, p1, q0, q1)
+    for row in range(n):
+        scalar = segment_distance(p0[row], p1[row], q0[row], q1[row])
+        assert batch[row] == scalar, f"row {row}: {batch[row]} != {scalar}"

@@ -1,0 +1,173 @@
+"""Distance joins as first-class citizens: ``within=`` end to end.
+
+PR 7's tentpole made the Chebyshev distance join a parameter of the
+workspace and service instead of a bolt-on helper, precisely so it
+flows through the same planner, index cache, and result cache as
+intersection joins.  These tests pin the sharing contracts that make
+that true:
+
+* ``within=0.0`` is *identical* to an intersection join — same dataset
+  object, same index-cache entries, same service cache slot;
+* ``within=d`` is memoised per ``(dataset, d)`` so repeated distance
+  joins reuse one enlarged copy and its indexes;
+* the predicate is part of the service cache key, and repeat
+  submissions are served from cache byte-identically.
+"""
+
+import pickle
+
+import pytest
+
+from repro.datagen import scaled_space, uniform_dataset
+from repro.engine import JoinRequest, SpatialWorkspace
+from repro.service import SpatialQueryService, request_cache_key
+
+from tests.conftest import dataset_pair
+from tests.test_joins_distance import brute_distance_pairs
+
+
+@pytest.fixture
+def pair():
+    return dataset_pair("uniform", 300, 400, seed=29)
+
+
+class TestWorkspaceWithin:
+    @pytest.mark.parametrize("distance", [0.0, 0.75, 2.0])
+    def test_matches_oracle(self, pair, distance):
+        a, b = pair
+        report = SpatialWorkspace().join(
+            a, b, algorithm="transformers", within=distance
+        )
+        assert report.pair_set() == brute_distance_pairs(a, b, distance)
+
+    def test_algorithms_agree_under_within(self, pair):
+        a, b = pair
+        ws = SpatialWorkspace()
+        got = {
+            algo: ws.join(a, b, algorithm=algo, within=1.25).pair_set()
+            for algo in ("transformers", "pbsm", "rtree")
+        }
+        assert got["transformers"] == got["pbsm"] == got["rtree"]
+
+    def test_within_zero_shares_index_cache_with_intersection(self, pair):
+        a, b = pair
+        ws = SpatialWorkspace()
+        plain = ws.join(a, b, algorithm="transformers")
+        zero = ws.join(a, b, algorithm="transformers", within=0.0)
+        # Both sides come straight from the plain join's index cache:
+        # within=0.0 never built (or enlarged) anything of its own.
+        assert zero.reused_a and zero.reused_b
+        assert zero.pair_set() == plain.pair_set()
+
+    def test_repeated_within_joins_reuse_enlarged_copy_and_index(self, pair):
+        a, b = pair
+        ws = SpatialWorkspace()
+        cold = ws.join(a, b, algorithm="transformers", within=2.0)
+        warm = ws.join(a, b, algorithm="transformers", within=2.0)
+        assert not cold.reused_a  # first join builds the enlarged side
+        assert warm.reused_a and warm.reused_b
+        assert warm.pair_set() == cold.pair_set()
+
+    def test_distinct_distances_do_not_share_enlarged_copies(self, pair):
+        a, b = pair
+        ws = SpatialWorkspace()
+        ws.join(a, b, algorithm="transformers", within=1.0)
+        other = ws.join(a, b, algorithm="transformers", within=2.0)
+        assert not other.reused_a  # different d, different grown copy
+        assert other.reused_b  # b is untouched by the predicate
+
+    def test_forget_drops_enlarged_copies_too(self, pair):
+        a, b = pair
+        ws = SpatialWorkspace()
+        ws.join(a, b, algorithm="transformers", within=1.5)
+        dropped = ws.forget(a)
+        # Only the grown copy was ever indexed; forgetting the *source*
+        # must chase the memo and drop that copy's index as well.
+        assert dropped >= 1
+        rebuilt = ws.join(a, b, algorithm="transformers", within=1.5)
+        assert not rebuilt.reused_a
+
+    def test_negative_within_rejected(self, pair):
+        a, b = pair
+        with pytest.raises(ValueError):
+            SpatialWorkspace().join(a, b, within=-0.5)
+
+
+class TestServiceWithin:
+    @pytest.fixture
+    def service(self):
+        space = scaled_space(600)
+        a = uniform_dataset(250, seed=5, name="A", space=space)
+        b = uniform_dataset(
+            250, seed=6, name="B", id_offset=10**9, space=space
+        )
+        service = SpatialQueryService()
+        service.register("axons", a)
+        service.register("dendrites", b)
+        return service, a, b
+
+    def test_repeat_within_submission_served_from_cache(self, service):
+        svc, a, b = service
+        request = JoinRequest(
+            "axons", "dendrites", algorithm="transformers", within=1.5
+        )
+        cold = svc.submit(request)
+        warm = svc.submit(request)
+        assert not cold.cached and warm.cached
+        assert warm.report is cold.report
+        assert pickle.dumps(warm.report) == pickle.dumps(cold.report)
+        assert warm.report.pair_set() == brute_distance_pairs(a, b, 1.5)
+
+    def test_within_is_part_of_the_cache_key(self, service):
+        svc, *_ = service
+        base = JoinRequest("axons", "dendrites", algorithm="transformers")
+        assert not svc.submit(base).cached
+        near = svc.submit(
+            JoinRequest(
+                "axons", "dendrites", algorithm="transformers", within=1.0
+            )
+        )
+        far = svc.submit(
+            JoinRequest(
+                "axons", "dendrites", algorithm="transformers", within=2.0
+            )
+        )
+        assert not near.cached and not far.cached
+        assert len({near.key, far.key, svc.submit(base).key}) == 3
+
+    def test_within_zero_shares_the_intersection_slot(self, service):
+        svc, *_ = service
+        plain = svc.submit(
+            JoinRequest("axons", "dendrites", algorithm="transformers")
+        )
+        zero = svc.submit(
+            JoinRequest(
+                "axons", "dendrites", algorithm="transformers", within=0.0
+            )
+        )
+        assert zero.cached
+        assert zero.key == plain.key
+        assert zero.report is plain.report
+
+    def test_negative_within_is_rejected_before_any_state_moves(self, service):
+        svc, *_ = service
+        before = svc.stats().requests
+        with pytest.raises(ValueError):
+            svc.submit(
+                JoinRequest(
+                    "axons", "dendrites", algorithm="transformers",
+                    within=-1.0,
+                )
+            )
+        assert svc.stats().requests == before
+
+
+class TestCacheKeyUnit:
+    def test_zero_canonicalises_to_none(self):
+        args = ("fa", "fb", "transformers", None, None)
+        assert request_cache_key(*args, 0.0) == request_cache_key(*args, None)
+        assert request_cache_key(*args, 1.0) != request_cache_key(*args, None)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            request_cache_key("fa", "fb", "transformers", None, None, -2.0)
