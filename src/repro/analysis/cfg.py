@@ -1,0 +1,407 @@
+"""Intra-function control-flow graphs with exception-edge modeling.
+
+The resource-lifecycle rule (RPL008) has to answer a path question —
+"does every execution from this acquisition reach a release, *including
+executions cut short by an exception*?" — which per-statement AST
+walking cannot.  :func:`build_cfg` turns one function body into a graph
+of statement nodes with two edge kinds:
+
+* **normal** edges — sequential flow, branches, loop back-edges;
+* **exception** edges — from any statement that can raise (it contains
+  a call, a ``raise``, or an ``assert``) to the handlers that could
+  catch it, and onward to the synthetic ``RAISE`` exit when no
+  enclosing handler is a catch-all.
+
+Three synthetic nodes bracket the graph: ``ENTRY``, ``EXIT`` (normal
+return paths, explicit or fall-through) and ``RAISE`` (an exception
+escaping the function).
+
+``finally`` is modeled by approximation rather than by the
+interpreter's block duplication: every way out of the protected block
+funnels through the ``finally`` body, whose exits then fan out to all
+continuations the block had (fall-through, the function exit when a
+``return`` funneled in, the outer exception targets).  The
+approximation only *adds* paths, so a rule proving "every path reaches
+a release" stays sound — it can over-warn on contorted ``finally``
+flow, never under-warn.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+#: Exception names treated as catching everything when they appear in
+#: an ``except`` clause.
+_CATCH_ALL_NAMES = {"Exception", "BaseException"}
+
+
+@dataclass
+class CFGNode:
+    """One node: a statement, or a synthetic entry/exit marker."""
+
+    index: int
+    #: The statement this node models; ``None`` for synthetic nodes.
+    stmt: ast.stmt | None
+    #: ``"entry"`` | ``"exit"`` | ``"raise"`` | ``"stmt"``.
+    kind: str
+    #: Successor node indices on normal completion.
+    normal: list[int] = field(default_factory=list)
+    #: Successor node indices when the statement raises.
+    exceptional: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """The graph for one function."""
+
+    nodes: list[CFGNode]
+    entry: int
+    exit: int
+    raise_exit: int
+    #: ``id(stmt)`` -> node index, for every statement node.
+    by_stmt: dict[int, int]
+
+    def node_for(self, stmt: ast.stmt) -> CFGNode | None:
+        index = self.by_stmt.get(id(stmt))
+        return self.nodes[index] if index is not None else None
+
+    def successors(self, index: int) -> list[tuple[int, bool]]:
+        """``(successor, via_exception)`` pairs of one node."""
+        node = self.nodes[index]
+        return [(s, False) for s in node.normal] + [
+            (s, True) for s in node.exceptional
+        ]
+
+
+@dataclass
+class _Context:
+    """Where control goes from inside the block being built."""
+
+    #: Exception targets, innermost handlers first; always ends with
+    #: either a finally entry or the RAISE exit.
+    exc_targets: tuple[int, ...]
+    #: Loop continue / break targets (node index, break collector).
+    continue_target: int | None = None
+    break_collector: list[int] | None = None
+    #: Innermost ``finally`` entry a ``return`` must route through
+    #: (``None`` routes straight to EXIT).
+    return_target: int | None = None
+    #: Set when a ``return`` routes into ``return_target``'s finally,
+    #: so the finally's exits learn to reach EXIT.
+    return_seen: list[bool] | None = None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.by_stmt: dict[int, int] = {}
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.raise_exit = self._new(None, "raise")
+
+    def _new(self, stmt: ast.stmt | None, kind: str) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        if stmt is not None:
+            self.by_stmt[id(stmt)] = node.index
+        return node.index
+
+    def _link(self, sources: list[int], target: int) -> None:
+        for source in sources:
+            successors = self.nodes[source].normal
+            if target not in successors:
+                successors.append(target)
+
+    def _link_exception(self, source: int, targets: tuple[int, ...]) -> None:
+        successors = self.nodes[source].exceptional
+        for target in targets:
+            if target not in successors:
+                successors.append(target)
+
+    # ------------------------------------------------------------------
+    def build(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> CFG:
+        context = _Context(exc_targets=(self.raise_exit,))
+        frontier = self._sequence(func.body, [self.entry], context)
+        self._link(frontier, self.exit)
+        return CFG(
+            nodes=self.nodes,
+            entry=self.entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+            by_stmt=self.by_stmt,
+        )
+
+    def _sequence(
+        self,
+        stmts: list[ast.stmt],
+        frontier: list[int],
+        context: _Context,
+    ) -> list[int]:
+        for stmt in stmts:
+            frontier = self._statement(stmt, frontier, context)
+        return frontier
+
+    # ------------------------------------------------------------------
+    def _statement(
+        self, stmt: ast.stmt, frontier: list[int], context: _Context
+    ) -> list[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier, context)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier, context)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier, context)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier, context)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier, context)
+        node = self._new(stmt, "stmt")
+        self._link(frontier, node)
+        if isinstance(stmt, ast.Return):
+            if _may_raise_exprs([stmt.value]):
+                self._link_exception(node, context.exc_targets)
+            self._route_return(node, context)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._link_exception(node, context.exc_targets)
+            return []
+        if isinstance(stmt, ast.Break):
+            if context.break_collector is not None:
+                context.break_collector.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if context.continue_target is not None:
+                self._link([node], context.continue_target)
+            return []
+        if isinstance(stmt, ast.Assert):
+            self._link_exception(node, context.exc_targets)
+            return [node]
+        if _stmt_may_raise(stmt):
+            self._link_exception(node, context.exc_targets)
+        return [node]
+
+    def _route_return(self, node: int, context: _Context) -> None:
+        if context.return_target is None:
+            self._link([node], self.exit)
+        else:
+            self._link([node], context.return_target)
+            if context.return_seen is not None:
+                context.return_seen[0] = True
+
+    # ------------------------------------------------------------------
+    def _if(
+        self, stmt: ast.If, frontier: list[int], context: _Context
+    ) -> list[int]:
+        header = self._new(stmt, "stmt")
+        self._link(frontier, header)
+        if _may_raise_exprs([stmt.test]):
+            self._link_exception(header, context.exc_targets)
+        out = self._sequence(stmt.body, [header], context)
+        if stmt.orelse:
+            out += self._sequence(stmt.orelse, [header], context)
+        else:
+            out.append(header)
+        return out
+
+    def _loop(
+        self,
+        stmt: ast.While | ast.For | ast.AsyncFor,
+        frontier: list[int],
+        context: _Context,
+    ) -> list[int]:
+        header = self._new(stmt, "stmt")
+        self._link(frontier, header)
+        header_exprs: list[ast.expr | None] = (
+            [stmt.test]
+            if isinstance(stmt, ast.While)
+            else [stmt.iter]
+        )
+        if _may_raise_exprs(header_exprs):
+            self._link_exception(header, context.exc_targets)
+        breaks: list[int] = []
+        body_context = _Context(
+            exc_targets=context.exc_targets,
+            continue_target=header,
+            break_collector=breaks,
+            return_target=context.return_target,
+            return_seen=context.return_seen,
+        )
+        body_out = self._sequence(stmt.body, [header], body_context)
+        self._link(body_out, header)
+        # Loop exit: condition false / iterator exhausted runs the
+        # ``else`` clause; ``break`` skips it.
+        if stmt.orelse:
+            out = self._sequence(stmt.orelse, [header], context)
+        else:
+            out = [header]
+        return out + breaks
+
+    def _with(
+        self,
+        stmt: ast.With | ast.AsyncWith,
+        frontier: list[int],
+        context: _Context,
+    ) -> list[int]:
+        header = self._new(stmt, "stmt")
+        self._link(frontier, header)
+        if _may_raise_exprs(
+            [item.context_expr for item in stmt.items]
+        ):
+            self._link_exception(header, context.exc_targets)
+        return self._sequence(stmt.body, [header], context)
+
+    def _match(
+        self, stmt: ast.Match, frontier: list[int], context: _Context
+    ) -> list[int]:
+        header = self._new(stmt, "stmt")
+        self._link(frontier, header)
+        if _may_raise_exprs([stmt.subject]):
+            self._link_exception(header, context.exc_targets)
+        out: list[int] = [header]
+        for case in stmt.cases:
+            out += self._sequence(case.body, [header], context)
+        return out
+
+    # ------------------------------------------------------------------
+    def _try(
+        self, stmt: ast.Try, frontier: list[int], context: _Context
+    ) -> list[int]:
+        # The finally body is built once; every way out of the
+        # protected region funnels through it (see module docstring).
+        finally_entry: int | None = None
+        finally_out: list[int] = []
+        return_seen = [False]
+        if stmt.finalbody:
+            anchor = self._new(stmt, "stmt")
+            finally_entry = anchor
+            finally_out = self._sequence(
+                stmt.finalbody, [anchor], context
+            )
+
+        # Exception targets for the protected body: the handlers,
+        # then — when none catches everything — the finally (or the
+        # outer targets).
+        handler_heads: list[int] = []
+        handler_anchors: list[tuple[ast.ExceptHandler, int]] = []
+        for handler in stmt.handlers:
+            head = self._new(handler_anchor(handler), "stmt")
+            handler_heads.append(head)
+            handler_anchors.append((handler, head))
+        escape: tuple[int, ...] = (
+            (finally_entry,)
+            if finally_entry is not None
+            else context.exc_targets
+        )
+        body_exc: tuple[int, ...] = tuple(handler_heads)
+        if not any(_catches_all(h) for h in stmt.handlers):
+            body_exc += escape
+        body_context = _Context(
+            exc_targets=body_exc,
+            continue_target=context.continue_target,
+            break_collector=context.break_collector,
+            return_target=(
+                finally_entry
+                if finally_entry is not None
+                else context.return_target
+            ),
+            return_seen=(
+                return_seen
+                if finally_entry is not None
+                else context.return_seen
+            ),
+        )
+        body_out = self._sequence(stmt.body, frontier, body_context)
+        if stmt.orelse:
+            body_out = self._sequence(
+                stmt.orelse, body_out, body_context
+            )
+
+        # Handler bodies: exceptions raised inside them go outward
+        # (through the finally), never to sibling handlers.
+        handler_context = _Context(
+            exc_targets=escape,
+            continue_target=context.continue_target,
+            break_collector=context.break_collector,
+            return_target=body_context.return_target,
+            return_seen=body_context.return_seen,
+        )
+        handler_out: list[int] = []
+        for handler, head in handler_anchors:
+            handler_out += self._sequence(
+                handler.body, [head], handler_context
+            )
+
+        after = body_out + handler_out
+        if finally_entry is None:
+            return after
+        self._link(after, finally_entry)
+        # The finally's exits fan out to every continuation the block
+        # had: fall-through, EXIT when a return funneled in, and the
+        # outer exception targets (re-raise after cleanup).
+        for out_node in finally_out:
+            self._link_exception(out_node, context.exc_targets)
+            if return_seen[0]:
+                self._link([out_node], self.exit)
+        return finally_out
+
+
+def handler_anchor(handler: ast.ExceptHandler) -> ast.stmt:
+    """A statement-typed anchor for a handler head node.
+
+    ``ast.ExceptHandler`` is not an ``ast.stmt``; the head node anchors
+    on the handler's first body statement so rule predicates (which
+    inspect ``node.stmt``) see real code.
+    """
+    return handler.body[0]
+
+
+def _catches_all(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception``/``BaseException``."""
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = (
+            node.id
+            if isinstance(node, ast.Name)
+            else node.attr
+            if isinstance(node, ast.Attribute)
+            else None
+        )
+        if name in _CATCH_ALL_NAMES:
+            return True
+    return False
+
+
+def _may_raise_exprs(exprs: list[ast.expr | None]) -> bool:
+    return any(
+        expr is not None
+        and any(isinstance(n, ast.Call) for n in ast.walk(expr))
+        for expr in exprs
+    )
+
+
+def _stmt_may_raise(stmt: ast.stmt) -> bool:
+    """A simple statement can raise when it performs a call.
+
+    Attribute and subscript access can raise too, but treating every
+    ``x.y`` as a potential raise point would drown the lifecycle rule
+    in impossible paths; calls are where resources actually slip.
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False  # defining doesn't run the body
+    return any(isinstance(n, ast.Call) for n in ast.walk(stmt))
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The control-flow graph of one function body."""
+    return _Builder().build(func)

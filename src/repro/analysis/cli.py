@@ -1,14 +1,22 @@
 """Command-line front-end: ``python -m repro.analysis [paths...]``.
 
-Exit codes: 0 — clean (or every error baselined / suppressed);
-1 — new error-severity findings; 2 — usage or baseline problems.
+Exit codes are strictly separated so CI can tell "the tree is dirty"
+from "the tool was invoked wrong or blew up":
+
+* **0** — clean (or every error baselined / suppressed);
+* **1** — new error-severity findings above the baseline;
+* **2** — usage errors (unknown rule ids, bad baseline file, a
+  ``--changed-only`` ref git cannot diff, conflicting flags) and
+  internal failures.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+import traceback
 from pathlib import Path
 
 from repro.analysis.baseline import (
@@ -19,18 +27,25 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.engine import AnalysisRequest, analyze_paths
 from repro.analysis.findings import Severity
-from repro.analysis.registry import RuleConfig, registered_rules
+from repro.analysis.registry import (
+    RuleConfig,
+    UnknownRuleError,
+    registered_rules,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "Repository-specific invariant lint: pickle safety of "
-            "__slots__ classes (RPL001), service-lock discipline "
-            "(RPL002), determinism (RPL003), vectorized-kernel "
-            "pairing (RPL004), REPRO_* env-var registry (RPL005) and "
-            "export hygiene (RPL006)."
+            "Repository-specific invariant lint: per-module rules "
+            "(RPL001 pickle safety, RPL002 service-lock discipline, "
+            "RPL003 determinism, RPL004 vectorized-kernel pairing, "
+            "RPL005 REPRO_* env registry, RPL006 export hygiene, "
+            "RPL008 resource lifecycle) plus whole-program rules over "
+            "the project call graph (RPL007 lock ordering, RPL009 "
+            "cache-key completeness, RPL010 transitive deprecated "
+            "calls)."
         ),
     )
     parser.add_argument(
@@ -74,9 +89,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format",
+    )
+    parser.add_argument(
+        "--changed-only",
+        metavar="REF",
+        default=None,
+        help=(
+            "analyze only files changed since REF (plus their "
+            "strongly-connected import dependents); needs git"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parse workers for large trees (default: auto; 1 = serial)",
     )
     parser.add_argument(
         "--list-rules",
@@ -88,7 +119,59 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the REPRO_* env-var table (markdown) and exit",
     )
+    parser.add_argument(
+        "--rules-doc",
+        action="store_true",
+        help="print the generated rule reference (markdown) and exit",
+    )
     return parser
+
+
+def _usage_error(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _git_changed_files(ref: str) -> tuple[str, ...]:
+    """Posix paths (relative to cwd) of ``*.py`` files changed vs ``ref``.
+
+    Committed/staged/worktree changes come from ``git diff``; files git
+    does not track yet are changed by definition and come from
+    ``ls-files --others``.  Raises ``CalledProcessError`` (surfaced as
+    a usage error) when the ref does not resolve.
+    """
+    toplevel = Path(
+        subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            check=True,
+            capture_output=True,
+            text=True,
+        ).stdout.strip()
+    )
+    names: set[str] = set()
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", ref, "--", "*.py"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    names.update(line for line in diff.stdout.splitlines() if line)
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard", "--", "*.py"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    names.update(line for line in untracked.stdout.splitlines() if line)
+    cwd = Path.cwd().resolve()
+    out: list[str] = []
+    for name in sorted(names):
+        absolute = (toplevel / name).resolve()
+        try:
+            out.append(absolute.relative_to(cwd).as_posix())
+        except ValueError:
+            out.append(absolute.as_posix())
+    return tuple(out)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,10 +183,45 @@ def main(argv: list[str] | None = None) -> int:
         print(env_table_markdown())
         return 0
 
+    if args.rules_doc:
+        from repro.analysis.docs import rules_reference_markdown
+
+        print(rules_reference_markdown(), end="")
+        return 0
+
     if args.list_rules:
         for rule_id, cls in registered_rules().items():
             print(f"{rule_id}  {cls.title}")
         return 0
+
+    if args.changed_only is not None and args.write_baseline is not None:
+        return _usage_error(
+            "--write-baseline needs a full run; it cannot be combined "
+            "with --changed-only"
+        )
+    if args.jobs is not None and args.jobs < 1:
+        return _usage_error("--jobs must be a positive integer")
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not masquerade as a clean scan.
+        return _usage_error(
+            "path(s) do not exist: " + ", ".join(missing)
+        )
+
+    changed: tuple[str, ...] | None = None
+    if args.changed_only is not None:
+        try:
+            changed = _git_changed_files(args.changed_only)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError):
+                detail = (exc.stderr or "").strip() or str(exc)
+            else:
+                detail = str(exc)
+            return _usage_error(
+                f"--changed-only {args.changed_only}: git failed: "
+                f"{detail}"
+            )
 
     request = AnalysisRequest(
         paths=[Path(p) for p in args.paths],
@@ -115,8 +233,17 @@ def main(argv: list[str] | None = None) -> int:
             if args.tests_root is not None
             else (Path("tests"),)
         ),
+        jobs=args.jobs,
+        changed=changed,
     )
-    result = analyze_paths(request)
+    try:
+        result = analyze_paths(request)
+    except UnknownRuleError as exc:
+        return _usage_error(str(exc))
+    except Exception:
+        print("internal error:", file=sys.stderr)
+        traceback.print_exc()
+        return 2
 
     if args.write_baseline is not None:
         save_baseline(args.write_baseline, result.findings)
@@ -132,8 +259,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             baseline = load_baseline(args.baseline)
         except (OSError, BaselineError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return _usage_error(str(exc))
         reportable, known = partition(result.findings, baseline)
         known_count = len(known)
 
@@ -149,6 +275,10 @@ def main(argv: list[str] | None = None) -> int:
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(reportable))
     else:
         for finding in reportable:
             print(finding.render())
@@ -160,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
             summary += f", {known_count} baselined"
         if result.suppressed:
             summary += f", {result.suppressed} suppressed"
+        if changed is not None:
+            summary += f", changed-only vs {args.changed_only}"
         print(summary)
 
     has_errors = any(

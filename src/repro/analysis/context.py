@@ -13,10 +13,14 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import CallGraph
 
 #: ``# repro: ignore`` or ``# repro: ignore[RPL001,RPL005]``.
 _SUPPRESSION_RE = re.compile(
-    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+    r"#\s*repro:\s*ignore\b(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
 )
 
 
@@ -158,6 +162,18 @@ class ModuleContext:
                 elif isinstance(
                     stmt, (ast.If, ast.Try, ast.For, ast.While, ast.With)
                 ):
+                    # Loop variables and `with ... as name` bind at
+                    # module scope too.
+                    if isinstance(stmt, ast.For):
+                        for node in ast.walk(stmt.target):
+                            if isinstance(node, ast.Name):
+                                bound.add(node.id)
+                    elif isinstance(stmt, ast.With):
+                        for item in stmt.items:
+                            if item.optional_vars is not None:
+                                for node in ast.walk(item.optional_vars):
+                                    if isinstance(node, ast.Name):
+                                        bound.add(node.id)
                     for _, value in ast.iter_fields(stmt):
                         if isinstance(value, list) and all(
                             isinstance(item, ast.stmt) for item in value
@@ -222,9 +238,25 @@ class ProjectContext:
     #: Directories whose ``*.py`` files are searched for test
     #: references by the vectorization-pairing rule.
     tests_roots: tuple[Path, ...] = ()
+    _callgraph: "CallGraph | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def module(self, name: str) -> ModuleContext | None:
         return self.modules.get(name)
+
+    def callgraph(self) -> "CallGraph":
+        """The whole-program call graph, built once and cached.
+
+        Lazy so per-module-only runs (``--select RPL001``-style) never
+        pay for symbol resolution; the import lives inside the method
+        because ``callgraph`` imports this module.
+        """
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self)
+        return self._callgraph
 
     def sorted_modules(self) -> list[ModuleContext]:
         """Modules in display-path order (stable finding order)."""

@@ -12,6 +12,7 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.callgraph import dependent_scope, module_import_graph
 from repro.analysis.context import (
     ModuleContext,
     ProjectContext,
@@ -115,6 +116,68 @@ class AnalysisRequest:
     tests_roots: tuple[Path, ...] = (Path("tests"),)
     #: Paths in findings are made relative to this directory.
     root: Path = field(default_factory=Path.cwd)
+    #: Parse workers; ``None`` lets the pool pick, ``1`` forces serial.
+    jobs: int | None = None
+    #: Display paths of changed files; when set, findings are restricted
+    #: to those files' strongly-connected import dependents (the whole
+    #: tree is still parsed, so cross-module resolution stays whole).
+    changed: tuple[str, ...] | None = None
+
+
+#: Below this many files a process pool costs more than it saves.
+_PARALLEL_MIN_FILES = 24
+
+
+def _parse_all(
+    files: list[Path], root: Path, jobs: int | None
+) -> list[ModuleContext | Finding]:
+    """Parse every file, with a process pool on big trees.
+
+    Parsing is pure (path in, AST out), so files fan out across
+    workers and come back in input order.  Any pool-level failure —
+    no ``fork`` support, pickling trouble — falls back to the serial
+    path rather than surfacing an internal error.
+    """
+    if jobs == 1 or len(files) < _PARALLEL_MIN_FILES:
+        return [load_module(path, root) for path in files]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(
+                pool.map(
+                    _load_for_pool,
+                    ((path, root) for path in files),
+                    chunksize=8,
+                )
+            )
+    except Exception:
+        return [load_module(path, root) for path in files]
+
+
+def _load_for_pool(
+    item: tuple[Path, Path]
+) -> ModuleContext | Finding:
+    return load_module(item[0], item[1])
+
+
+def _changed_scope(
+    modules: dict[str, ModuleContext], changed: tuple[str, ...]
+) -> set[str]:
+    """Module names whose findings survive a ``changed``-scoped run.
+
+    The scope is each changed module's strongly-connected import
+    component plus direct importers — the set whose analysis results
+    can differ when only those files changed.
+    """
+    changed_set = set(changed)
+    changed_names = {
+        name
+        for name, module in modules.items()
+        if module.display_path in changed_set
+    }
+    graph = module_import_graph(modules)
+    return dependent_scope(graph, changed_names)
 
 
 def analyze_paths(request: AnalysisRequest) -> AnalysisResult:
@@ -122,14 +185,24 @@ def analyze_paths(request: AnalysisRequest) -> AnalysisResult:
     modules: dict[str, ModuleContext] = {}
     findings: list[Finding] = []
     files = collect_files(request.paths)
-    for path in files:
-        loaded = load_module(path, request.root)
+    for loaded in _parse_all(files, request.root, request.jobs):
         if isinstance(loaded, Finding):
             findings.append(loaded)
             continue
         # Two files mapping to one dotted name (e.g. scanning two
         # sibling trees) keep the first; rules see a consistent world.
         modules.setdefault(loaded.name, loaded)
+    files_scanned = len(files)
+    if request.changed is not None:
+        scope = _changed_scope(modules, request.changed)
+        modules = {
+            name: module
+            for name, module in modules.items()
+            if name in scope
+        }
+        changed_set = set(request.changed)
+        findings = [f for f in findings if f.path in changed_set]
+        files_scanned = len(modules)
     project = ProjectContext(
         modules=modules,
         tests_roots=tuple(
@@ -155,7 +228,7 @@ def analyze_paths(request: AnalysisRequest) -> AnalysisResult:
     kept.sort()
     return AnalysisResult(
         findings=kept,
-        files_scanned=len(files),
+        files_scanned=files_scanned,
         suppressed=suppressed,
         project=project,
     )

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar, TypeVar
+from typing import TYPE_CHECKING, Callable, ClassVar, TypeVar
 
 from repro.analysis.context import ProjectContext
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import CallGraph
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,36 @@ class RuleConfig:
     env_allowed_modules: tuple[str, ...] = ("repro.core.config",)
     #: Environment-variable prefix the registry owns.
     env_prefix: str = "REPRO_"
+    #: Module-name segments in lock-order (RPL007) scope.
+    lock_order_segments: tuple[str, ...] = ("service", "storage")
+    #: Callee suffixes a thread must never invoke while holding a lock.
+    lock_blocking_targets: tuple[str, ...] = (
+        "BatchExecutor.run",
+        "BatchExecutor.run_partitioned",
+        "ProcessPoolExecutor",
+    )
+    #: Resource-factory callees (last dotted segment) mapped to the
+    #: method names that settle the obligation (RPL008).
+    resource_factories: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "SharedMemory": ("close", "unlink"),
+            "SharedDatasetPool": ("close",),
+            "_attach_untracked": ("close",),
+        }
+    )
+    #: Request dataclasses whose fields must reach the cache key (RPL009).
+    request_classes: tuple[str, ...] = ("JoinRequest",)
+    #: Functions that derive the result-cache key.
+    cache_key_functions: tuple[str, ...] = ("request_cache_key",)
+    #: Request fields exempt from cache-key coverage (presentation only).
+    cache_exempt_fields: tuple[str, ...] = ("label",)
+    #: Variable names treated as request instances in untyped code.
+    request_identifiers: tuple[str, ...] = ("request", "req")
+    #: Callee suffixes that constitute algorithm execution.
+    execution_sinks: tuple[str, ...] = (
+        "SpatialWorkspace.join",
+        "BatchExecutor.run",
+    )
     #: Per-rule severity overrides, e.g. ``{"RPL003": Severity.WARNING}``.
     severity_overrides: dict[str, Severity] = field(default_factory=dict)
 
@@ -54,6 +87,13 @@ class Rule:
     id: ClassVar[str] = ""
     title: ClassVar[str] = ""
     default_severity: ClassVar[Severity] = Severity.ERROR
+    #: One-sentence statement of the invariant the rule enforces;
+    #: rendered into ``docs/analysis-rules.md``.
+    invariant: ClassVar[str] = ""
+    #: Why the invariant matters in this codebase.
+    rationale: ClassVar[str] = ""
+    #: A minimal violating snippet, shown in the rule reference.
+    example: ClassVar[str] = ""
 
     def __init__(self, config: RuleConfig) -> None:
         self.config = config
@@ -86,6 +126,27 @@ class Rule:
 
     def check(self, project: ProjectContext) -> Iterator[Finding]:
         raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that reasons over the whole-program call graph.
+
+    Subclasses implement :meth:`check_project`; the engine hands them
+    the project's (lazily built, shared) :class:`CallGraph` so several
+    project rules pay for symbol resolution once.
+    """
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        return self.check_project(project, project.callgraph())
+
+    def check_project(
+        self, project: ProjectContext, graph: "CallGraph"
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class UnknownRuleError(ValueError):
+    """A ``--select``/``--disable`` named a rule id that doesn't exist."""
 
 
 _REGISTRY: dict[str, type[Rule]] = {}
@@ -121,6 +182,12 @@ def build_rules(
         {name.upper() for name in select} if select is not None else None
     )
     disabled = {name.upper() for name in disable}
+    known = set(registered_rules())
+    unknown = ((selected or set()) | disabled) - known
+    if unknown:
+        raise UnknownRuleError(
+            "unknown rule id(s): " + ", ".join(sorted(unknown))
+        )
     rules: list[Rule] = []
     for rule_id, cls in registered_rules().items():
         if selected is not None and rule_id not in selected:

@@ -1,10 +1,14 @@
 """Rule implementations; importing this package registers them all."""
 
+from repro.analysis.rules.cache_key import CacheKeyCompletenessRule
+from repro.analysis.rules.deprecated_calls import DeprecatedCallRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.env_registry import EnvRegistryRule
 from repro.analysis.rules.exports import ExportHygieneRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.pickle_safety import PickleSafetyRule
+from repro.analysis.rules.resource_lifecycle import ResourceLifecycleRule
 from repro.analysis.rules.vector_pairing import VectorPairingRule
 
 __all__ = [
@@ -14,4 +18,8 @@ __all__ = [
     "VectorPairingRule",
     "EnvRegistryRule",
     "ExportHygieneRule",
+    "LockOrderRule",
+    "ResourceLifecycleRule",
+    "CacheKeyCompletenessRule",
+    "DeprecatedCallRule",
 ]

@@ -1,0 +1,157 @@
+"""RPL010 — no new callers of DeprecationWarning-emitting APIs.
+
+A function that executes ``warnings.warn(..., DeprecationWarning)`` is
+a deprecated entry point; the codebase keeps such shims alive for
+external users but must not route its own traffic through them.  The
+per-module engine could only see literal call expressions; this rule
+resolves call sites through the project call graph, so it catches both
+
+* **direct** calls — ``algorithm.run(...)`` where the receiver's
+  static type resolves the call to the deprecated method, aliases and
+  re-exports included; and
+* **transitive** calls — calling a non-deprecated helper that itself
+  calls the deprecated API, the exact shape of the shipped
+  ``distance_join`` bug (deprecation reached through one hop).
+
+Calls *from* a deprecated function are exempt — shims may share
+plumbing — as are calls from other deprecated functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.context import ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register_rule
+
+
+@register_rule
+class DeprecatedCallRule(ProjectRule):
+    id = "RPL010"
+    title = "no internal callers of deprecated APIs, even transitively"
+    invariant = (
+        "No non-deprecated function calls a DeprecationWarning-"
+        "emitting function, directly or through one intermediate "
+        "helper."
+    )
+    rationale = (
+        "Deprecated shims skip the planner, the caches and the "
+        "vectorized paths; internal traffic routed through them "
+        "silently loses every optimization the replacement API exists "
+        "to provide, and fires warnings in user logs."
+    )
+    example = (
+        "def distance_join(a, b, d):\n"
+        "    return _legacy_pairs(a, b, d)  # RPL010: _legacy_pairs\n"
+        "    # calls algorithm.run(), which warns DeprecationWarning\n"
+    )
+
+    def check_project(
+        self, project: ProjectContext, graph: CallGraph
+    ) -> Iterator[Finding]:
+        emitters = {
+            qual
+            for qual, fn in graph.functions.items()
+            if _emits_deprecation(fn.node)
+        }
+        if not emitters:
+            return
+        by_display = {
+            module.name: module for module in project.sorted_modules()
+        }
+        for caller in sorted(graph.calls):
+            if caller in emitters:
+                continue
+            fn = graph.functions.get(caller)
+            if fn is None:
+                continue
+            module = by_display.get(fn.module)
+            if module is None:
+                continue
+            for site in graph.calls[caller]:
+                if not site.resolved or site.constructor:
+                    continue
+                if site.callee in emitters:
+                    target = graph.functions[site.callee].display
+                    yield self.finding(
+                        path=module.display_path,
+                        line=site.line,
+                        column=site.column,
+                        symbol=fn.display,
+                        message=(
+                            f"{fn.display} calls deprecated {target} "
+                            "(emits DeprecationWarning); use its "
+                            "replacement instead"
+                        ),
+                    )
+                    continue
+                # One hop: a clean-looking helper that forwards into a
+                # deprecated API.
+                through = self._via_helper(graph, site.callee, emitters)
+                if through is not None:
+                    helper = graph.functions[site.callee].display
+                    target = graph.functions[through].display
+                    yield self.finding(
+                        path=module.display_path,
+                        line=site.line,
+                        column=site.column,
+                        symbol=fn.display,
+                        message=(
+                            f"{fn.display} transitively invokes "
+                            f"deprecated {target} through {helper}"
+                        ),
+                    )
+
+    def _via_helper(
+        self, graph: CallGraph, helper: str, emitters: set[str]
+    ) -> str | None:
+        """The emitter a one-hop helper forwards into, if any."""
+        if helper not in graph.functions:
+            return None
+        for callee in sorted(graph.resolved_callees(helper)):
+            if callee in emitters:
+                return callee
+        return None
+
+
+def _emits_deprecation(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    """Does the function body call ``warnings.warn(..., DeprecationWarning)``?
+
+    Nested defs are included deliberately: a decorator factory whose
+    wrapper warns makes the factory's product deprecated.
+    """
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = (
+            node.func.id
+            if isinstance(node.func, ast.Name)
+            else node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else None
+        )
+        if name != "warn":
+            continue
+        category: ast.expr | None = None
+        if len(node.args) >= 2:
+            category = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "category":
+                category = keyword.value
+        if category is None:
+            continue
+        cat_name = (
+            category.id
+            if isinstance(category, ast.Name)
+            else category.attr
+            if isinstance(category, ast.Attribute)
+            else None
+        )
+        if cat_name == "DeprecationWarning":
+            return True
+    return False

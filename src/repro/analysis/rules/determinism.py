@@ -61,6 +61,23 @@ _CLOCK_TARGETS = {
 class DeterminismRule(Rule):
     id = "RPL003"
     title = "unseeded randomness / wall-clock reads in counted paths"
+    invariant = (
+        "Join, core and stats code never draws from an unseeded RNG "
+        "and never reads the wall clock; randomness comes from an "
+        "explicit seed parameter, timing from perf counters outside "
+        "the counted path."
+    )
+    rationale = (
+        "The benchmark trajectory gates on deterministic operation "
+        "counters; hidden entropy or wall-clock dependence makes "
+        "counter regressions irreproducible and breaks the oracle "
+        "corpus's exact-equality checks."
+    )
+    example = (
+        "def jittered(boxes):\n"
+        "    rng = np.random.default_rng()  # RPL003: unseeded\n"
+        "    return boxes + rng.normal(size=boxes.shape)\n"
+    )
 
     def check(self, project: ProjectContext) -> Iterator[Finding]:
         banned_segments = set(self.config.clock_banned_segments)

@@ -37,6 +37,21 @@ _ENVIRON_METHODS = {"get", "setdefault", "pop"}
 class EnvRegistryRule(Rule):
     id = "RPL005"
     title = "REPRO_* environment access must use repro.core.config"
+    invariant = (
+        "Only repro.core.config touches REPRO_*-prefixed environment "
+        "variables; every other module goes through the registry's "
+        "typed accessors."
+    )
+    rationale = (
+        "The env registry documents, types and defaults every knob "
+        "(and renders the README table); an ad-hoc os.environ read "
+        "creates an undocumented flag with its own parsing bugs."
+    )
+    example = (
+        "import os\n"
+        "limit = os.environ.get(\"REPRO_CACHE_MB\")  # RPL005: bypasses\n"
+        "# the repro.core.config registry\n"
+    )
 
     def check(self, project: ProjectContext) -> Iterator[Finding]:
         allowed = set(self.config.env_allowed_modules)

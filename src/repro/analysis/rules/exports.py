@@ -47,6 +47,22 @@ def _resolve_import(
 class ExportHygieneRule(Rule):
     id = "RPL006"
     title = "__all__ entries and re-exports must resolve"
+    invariant = (
+        "Every name in a module's __all__ is bound in that module, "
+        "and every re-exported name still exists in its source "
+        "module."
+    )
+    rationale = (
+        "A stale __all__ entry turns `from repro import *` into an "
+        "ImportError at the caller's site, long after the rename that "
+        "caused it; resolving exports statically catches the rename "
+        "in the same PR."
+    )
+    example = (
+        "__all__ = [\"renamed_long_ago\"]  # RPL006: no such binding\n"
+        "def renamed_recently():\n"
+        "    ...\n"
+    )
 
     def check(self, project: ProjectContext) -> Iterator[Finding]:
         bindings: dict[str, set[str]] = {}

@@ -79,6 +79,23 @@ class _MethodInfo:
 class LockDisciplineRule(Rule):
     id = "RPL002"
     title = "guarded service state requires the service lock"
+    invariant = (
+        "In service modules, guarded attributes (_catalog/_cache/"
+        "_results) are only touched under `with self._lock:`, public "
+        "methods never run inside the lock, and lock-assuming private "
+        "helpers are never called without it."
+    )
+    rationale = (
+        "The service is one shared object under concurrent clients; "
+        "an unlocked catalog read races registration, and a public "
+        "method invoked under the lock couples the API surface to the "
+        "private locking layout (deadlock on refactor)."
+    )
+    example = (
+        "def lookup(self, name):\n"
+        "    return self._catalog.get(name)  # RPL002: guarded state\n"
+        "    # read without holding self._lock\n"
+    )
 
     def check(self, project: ProjectContext) -> Iterator[Finding]:
         segment = self.config.service_segment

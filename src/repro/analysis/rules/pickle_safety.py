@@ -91,6 +91,22 @@ def _last_segment(name: str) -> str:
 class PickleSafetyRule(Rule):
     id = "RPL001"
     title = "__slots__ classes must define explicit pickle support"
+    invariant = (
+        "Every class declaring __slots__ also provides pickle support "
+        "— __getstate__/__setstate__, __reduce__, or a configured "
+        "pickle mixin base — so it survives the process-pool boundary."
+    )
+    rationale = (
+        "Batch execution ships datasets and reports through "
+        "multiprocessing pickling; a slotted class without explicit "
+        "state hooks pickles to an empty object and the worker crashes "
+        "or silently computes on defaults (the PR 2 frozen-slots bug)."
+    )
+    example = (
+        "class FrozenPoint:\n"
+        "    __slots__ = (\"x\", \"y\")  # RPL001: no __getstate__/\n"
+        "    # __setstate__ and no pickle mixin base\n"
+    )
 
     def check(self, project: ProjectContext) -> Iterator[Finding]:
         classes: dict[str, _ClassInfo] = {}

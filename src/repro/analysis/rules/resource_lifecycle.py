@@ -1,0 +1,365 @@
+"""RPL008 — shared-memory resources must be released on every path.
+
+For each configured resource factory (``SharedMemory``,
+``SharedDatasetPool``, the shm module's ``_attach_untracked``), every
+acquisition must be *settled* on every control-flow path out of the
+acquiring function — exception paths included:
+
+* a call to one of the factory's release methods on the acquired
+  variable (``shm.close()``, ``shm.unlink()``, ``pool.close()``);
+* an **escape** — the bare variable is returned/yielded, stored into
+  an attribute or container, or passed to another call (ownership
+  moved; the receiver's obligations are its own).  Derived values
+  (``shm.buf``) do not count as escapes;
+* acquisition directly as a ``with`` context manager.
+
+Paths are walked over the function's CFG (:mod:`repro.analysis.cfg`),
+so ``shm = SharedMemory(...)`` followed by a computation that can
+raise *before* the segment is stored or closed is flagged even though
+the happy path looks fine — exactly the publish/attach windows the
+shared-memory pool has to keep closed, because a leaked segment
+persists in ``/dev/shm`` after the process dies.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.context import ModuleContext, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+
+
+@dataclass
+class _Acquisition:
+    variable: str
+    factory: str
+    releases: tuple[str, ...]
+    stmt: ast.stmt
+    line: int
+    column: int
+
+
+@register_rule
+class ResourceLifecycleRule(Rule):
+    id = "RPL008"
+    title = "acquired shared-memory resources reach a release on all paths"
+    invariant = (
+        "Every variable bound from a resource factory (SharedMemory, "
+        "SharedDatasetPool, _attach_untracked) reaches a release "
+        "method, escapes to another owner, or is managed by `with` on "
+        "every CFG path out of the function, including exception "
+        "edges."
+    )
+    rationale = (
+        "POSIX shared-memory segments outlive the process: a segment "
+        "acquired and then dropped on an exception path stays mapped "
+        "in /dev/shm until reboot, and the refcounted pool double-"
+        "frees if registration and cleanup disagree about ownership."
+    )
+    example = (
+        "def publish(data):\n"
+        "    shm = SharedMemory(create=True, size=len(data))\n"
+        "    shm.buf[:] = data      # raises -> segment leaked: RPL008\n"
+        "    REGISTRY.append(shm)\n"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        factories = self.config.resource_factories
+        if not factories:
+            return
+        for module in project.sorted_modules():
+            for node in ast.walk(module.tree):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    yield from self._check_function(
+                        module, node, factories
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        module: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        factories: dict[str, tuple[str, ...]],
+    ) -> Iterator[Finding]:
+        acquisitions: list[_Acquisition] = []
+        discarded: list[tuple[str, ast.stmt]] = []
+        for stmt in _own_statements(func):
+            factory = _factory_of(stmt, factories)
+            if factory is None:
+                continue
+            if isinstance(stmt, ast.Assign):
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    acquisitions.append(
+                        _Acquisition(
+                            variable=target.id,
+                            factory=factory,
+                            releases=factories[factory],
+                            stmt=stmt,
+                            line=stmt.lineno,
+                            column=stmt.col_offset,
+                        )
+                    )
+            elif isinstance(stmt, ast.Expr):
+                discarded.append((factory, stmt))
+
+        for factory, stmt in discarded:
+            yield self.finding(
+                path=module.display_path,
+                line=stmt.lineno,
+                column=stmt.col_offset,
+                symbol=_symbol(module, func),
+                message=(
+                    f"{factory}(...) result is discarded — the "
+                    "resource can never be released; bind it and "
+                    "release it, or use `with`"
+                ),
+            )
+
+        if not acquisitions:
+            return
+        cfg = build_cfg(func)
+        for acq in acquisitions:
+            leak = self._first_leak(cfg, acq)
+            if leak is None:
+                continue
+            via_exception, at_line = leak
+            route = (
+                f"an exception path (statement at line {at_line} can "
+                "raise first)"
+                if via_exception
+                else "a normal path"
+            )
+            yield self.finding(
+                path=module.display_path,
+                line=acq.line,
+                column=acq.column,
+                symbol=_symbol(module, func),
+                message=(
+                    f"{acq.variable} = {acq.factory}(...) does not "
+                    f"reach {_release_names(acq.releases)} on {route}; "
+                    "release in a finally block or hand ownership off "
+                    "before anything can raise"
+                ),
+            )
+
+    def _first_leak(
+        self, cfg: CFG, acq: _Acquisition
+    ) -> tuple[bool, int] | None:
+        """(via_exception, escaping line) of the first leaking path.
+
+        BFS from the acquisition's normal successors (if the factory
+        call itself raises, the name was never bound); a node that
+        settles the obligation is not expanded, and reaching EXIT or
+        RAISE otherwise is a leak.
+        """
+        node = cfg.node_for(acq.stmt)
+        if node is None:
+            return None
+        frontier: list[tuple[int, bool, int]] = [
+            (succ, False, acq.line) for succ in node.normal
+        ]
+        seen: set[tuple[int, bool]] = set()
+        while frontier:
+            index, via_exc, last_line = frontier.pop(0)
+            if (index, via_exc) in seen:
+                continue
+            seen.add((index, via_exc))
+            current = cfg.nodes[index]
+            if current.kind == "exit":
+                return (via_exc, last_line)
+            if current.kind == "raise":
+                return (True, last_line)
+            if current.stmt is not None and _settles(
+                current.stmt, acq
+            ):
+                continue
+            line = (
+                current.stmt.lineno
+                if current.stmt is not None
+                else last_line
+            )
+            for succ in current.normal:
+                frontier.append((succ, via_exc, line))
+            for succ in current.exceptional:
+                frontier.append((succ, True, line))
+        return None
+
+
+# ----------------------------------------------------------------------
+# Statement predicates
+# ----------------------------------------------------------------------
+def _own_statements(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.stmt]:
+    """Statements of ``func`` itself, not of nested defs."""
+    stack: list[ast.stmt] = list(func.body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.stmt):
+                        stack.append(item)
+                    elif isinstance(item, ast.excepthandler):
+                        stack.extend(item.body)
+
+
+def _factory_of(
+    stmt: ast.stmt, factories: dict[str, tuple[str, ...]]
+) -> str | None:
+    """The factory a statement invokes at its top level, if any."""
+    value: ast.expr | None = None
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        value = stmt.value
+    elif isinstance(stmt, ast.Expr):
+        value = stmt.value
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr
+        if isinstance(func, ast.Attribute)
+        else None
+    )
+    return name if name in factories else None
+
+
+def _settles(stmt: ast.stmt, acq: _Acquisition) -> bool:
+    """Does ``stmt`` settle the obligation for ``acq.variable``?"""
+    variable = acq.variable
+    # Rebinding ends tracking (the old value's fate was decided by
+    # whatever produced the rebinding — commonly a second acquire,
+    # which gets its own analysis).
+    if isinstance(stmt, ast.Assign) and any(
+        isinstance(t, ast.Name) and t.id == variable
+        for t in stmt.targets
+    ):
+        return True
+    if (
+        isinstance(stmt, ast.Delete)
+        and any(
+            isinstance(t, ast.Name) and t.id == variable
+            for t in stmt.targets
+        )
+    ):
+        return True
+    parents = _stmt_parents(stmt)
+    for node in ast.walk(stmt):
+        # v.close() / v.unlink() / v.release()
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in acq.releases
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == variable
+        ):
+            return True
+        if _is_bare_use(node, variable, parents) and _escapes(
+            node, parents
+        ):
+            return True
+        # A nested def capturing the variable may release it later;
+        # trust the closure rather than flag an un-analyzable path.
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ) and any(
+            isinstance(inner, ast.Name) and inner.id == variable
+            for inner in ast.walk(node)
+        ):
+            return True
+    return False
+
+
+def _stmt_parents(stmt: ast.stmt) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(stmt):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _is_bare_use(
+    node: ast.AST, variable: str, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """A Load of the variable itself, not of a derived attribute.
+
+    ``shm`` in ``register(shm)`` is bare; the ``shm`` of ``shm.buf``
+    is not — handing out a view is not handing out ownership.
+    """
+    if not (
+        isinstance(node, ast.Name)
+        and node.id == variable
+        and isinstance(node.ctx, ast.Load)
+    ):
+        return False
+    parent = parents.get(node)
+    return not (
+        isinstance(parent, ast.Attribute) and parent.value is node
+    )
+
+
+def _escapes(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    """Is this bare use one that moves ownership elsewhere?
+
+    Returned/yielded, passed as a call argument, or stored into an
+    attribute/subscript/container — anything that makes the value
+    reachable after the statement.  Reads that merely inspect it
+    (``if v is None``) keep the obligation local.
+    """
+    current: ast.AST | None = node
+    while current is not None:
+        parent = parents.get(current)
+        if parent is None:
+            return False
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(parent, ast.Call) and current is not parent.func:
+            return True
+        if isinstance(parent, ast.keyword):
+            return True
+        if isinstance(parent, ast.Assign):
+            if current is parent.value or any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in parent.targets
+            ):
+                return any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in parent.targets
+                )
+            return False
+        if isinstance(parent, ast.withitem) and parent.context_expr is current:
+            return True  # `with shm:` — the context manager closes it
+        if isinstance(parent, (ast.Compare, ast.BoolOp, ast.UnaryOp)):
+            return False
+        current = parent
+    return False
+
+
+def _symbol(
+    module: ModuleContext,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> str:
+    for ancestor in module.ancestors(func):
+        if isinstance(ancestor, ast.ClassDef):
+            return f"{ancestor.name}.{func.name}"
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+    return func.name
+
+
+def _release_names(releases: tuple[str, ...]) -> str:
+    return "/".join(f"{name}()" for name in releases)

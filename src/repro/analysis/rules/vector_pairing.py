@@ -48,6 +48,21 @@ def _mentions(source: str, name: str) -> bool:
 class VectorPairingRule(Rule):
     id = "RPL004"
     title = "vectorized kernels need *_reference twins and equivalence tests"
+    invariant = (
+        "Every @vectorized_kernel function has a *_reference twin in "
+        "the same module and both names appear together in at least "
+        "one test under the configured tests roots."
+    )
+    rationale = (
+        "The NumPy fast paths are only trustworthy because each one "
+        "is pinned to a scalar reference by an exact-equivalence "
+        "test; an unpaired kernel is an optimization with no oracle."
+    )
+    example = (
+        "@vectorized_kernel\n"
+        "def orphan_join(lo, hi):  # RPL004: no orphan_join_reference\n"
+        "    ...\n"
+    )
 
     def _is_tag(self, decorator: ast.expr) -> bool:
         node = decorator

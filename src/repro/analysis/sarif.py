@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 rendering of an analysis run.
+
+SARIF (Static Analysis Results Interchange Format) is what code hosts
+ingest for inline PR annotations; emitting it from ``--format sarif``
+lets CI upload the full-tree run as an artifact without any adapter.
+Only the stable core of the schema is produced: one run, the rule
+metadata under ``tool.driver``, and one ``result`` per finding with a
+physical location (SARIF columns/lines are 1-based; findings store
+0-based columns).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, registered_rules
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_metadata(cls: type[Rule]) -> dict[str, object]:
+    meta: dict[str, object] = {
+        "id": cls.id,
+        "name": cls.__name__,
+        "shortDescription": {"text": cls.title},
+    }
+    if cls.invariant:
+        meta["fullDescription"] = {"text": cls.invariant}
+    if cls.rationale:
+        meta["help"] = {"text": cls.rationale}
+    return meta
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.column + 1,
+                    },
+                },
+                "logicalLocations": [
+                    {"fullyQualifiedName": finding.symbol}
+                ],
+            }
+        ],
+    }
+
+
+def sarif_document(findings: list[Finding]) -> dict[str, object]:
+    """The run as a SARIF log object (JSON-serializable)."""
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "analysis-rules.md"
+                        ),
+                        "rules": [
+                            _rule_metadata(cls)
+                            for cls in registered_rules().values()
+                        ],
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    """The SARIF log serialized with stable formatting."""
+    return json.dumps(sarif_document(findings), indent=2, sort_keys=True)

@@ -35,22 +35,37 @@ import dataclasses
 import os
 import time
 import traceback
-from collections.abc import Iterable
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections.abc import Callable, Iterable
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.engine.planner import plan_join
+from repro._types import AnyArray
+from repro.engine.planner import PlanReport, plan_join
 from repro.engine.report import RunReport
-from repro.joins.base import CostModel, Dataset, SpatialJoinAlgorithm
+from repro.joins.base import (
+    CostModel,
+    Dataset,
+    JoinResult,
+    SpatialJoinAlgorithm,
+)
 from repro.storage.disk import DiskModel
 from repro.storage.shm import (
     SharedDatasetPool,
     SharedDatasetRef,
     attach_dataset,
 )
+
+if TYPE_CHECKING:
+    from repro.geometry.box import Box
 
 
 # ----------------------------------------------------------------------
@@ -74,9 +89,9 @@ class DatasetSpec:
     seed: int | None = None
     name: str = ""
     id_offset: int = 0
-    space: object | None = None  # Box | None (kept loose for pickling docs)
+    space: Box | None = None
 
-    def realize(self, fallback_seed: int, space: object | None) -> Dataset:
+    def realize(self, fallback_seed: int, space: Box | None) -> Dataset:
         """Materialise the dataset (worker-side)."""
         try:
             generator = _generators()[self.kind]
@@ -102,7 +117,7 @@ GENERATOR_KINDS = (
 )
 
 
-def _generators():
+def _generators() -> dict[str, Callable[..., Dataset]]:
     """The kind -> generator mapping (imported lazily: worker-side)."""
     from repro.datagen import (
         dense_cluster,
@@ -111,16 +126,13 @@ def _generators():
         uniform_dataset,
     )
 
-    return dict(
-        zip(
-            GENERATOR_KINDS,
-            (uniform_dataset, dense_cluster, uniform_cluster,
-             massive_cluster),
-        )
+    generators: tuple[Callable[..., Dataset], ...] = (
+        uniform_dataset, dense_cluster, uniform_cluster, massive_cluster,
     )
+    return dict(zip(GENERATOR_KINDS, generators))
 
 
-def _side_name(side: object) -> str:
+def _side_name(side: Dataset | DatasetSpec | SharedDatasetRef) -> str:
     """Display name of a request side (dataset, spec, or shm ref)."""
     if isinstance(side, DatasetSpec):
         return side.name or side.kind
@@ -149,7 +161,7 @@ class JoinRequest:
     a: Dataset | DatasetSpec | SharedDatasetRef
     b: Dataset | DatasetSpec | SharedDatasetRef
     algorithm: str | SpatialJoinAlgorithm = "auto"
-    space: object | None = None
+    space: Box | None = None
     parameters: dict[str, object] | None = None
     label: str = ""
     within: float | None = None
@@ -352,7 +364,7 @@ class BatchReport:
 # ----------------------------------------------------------------------
 # Worker-side execution (module level: must pickle into the pool)
 # ----------------------------------------------------------------------
-def _spec_collides(spec: DatasetSpec, other_ids: np.ndarray) -> bool:
+def _spec_collides(spec: DatasetSpec, other_ids: AnyArray) -> bool:
     """Would the spec's (contiguous) id range hit any of ``other_ids``?"""
     return bool(
         np.any(
@@ -423,15 +435,17 @@ def _execute_request(
     """Run one request on a fresh workspace, capturing any failure."""
     from repro.engine.workspace import SpatialWorkspace
 
+    seed_a = derive_seed(batch_seed, index, side=0)
+    seed_b = derive_seed(batch_seed, index, side=1)
     outcome = RequestOutcome(
         index=index,
         label=request.describe(),
-        seed_a=derive_seed(batch_seed, index, side=0),
-        seed_b=derive_seed(batch_seed, index, side=1),
+        seed_a=seed_a,
+        seed_b=seed_b,
     )
     start = time.perf_counter()
     try:
-        a, b = _realize_pair(request, outcome.seed_a, outcome.seed_b)
+        a, b = _realize_pair(request, seed_a, seed_b)
         workspace = SpatialWorkspace(
             disk_model=disk_model, cost_model=cost_model
         )
@@ -467,7 +481,8 @@ def _init_partition_worker(
     _PARTITION_STATE = (algorithm, index_a, index_b)
 
 
-def _join_partition_task(task: object):
+def _join_partition_task(task: object) -> JoinResult:
+    assert _PARTITION_STATE is not None, "partition worker not initialised"
     algorithm, index_a, index_b = _PARTITION_STATE
     return algorithm.join_partition(index_a, index_b, task)
 
@@ -577,7 +592,9 @@ class BatchExecutor:
         outcomes: list[RequestOutcome] = []
         broken: list[tuple[int, JoinRequest]] = []
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {}
+            futures: dict[
+                Future[RequestOutcome], tuple[int, JoinRequest]
+            ] = {}
             for i, req in enumerate(requests):
                 try:
                     future = pool.submit(
@@ -656,7 +673,7 @@ class BatchExecutor:
         b: Dataset,
         algorithm: str | SpatialJoinAlgorithm = "pbsm",
         *,
-        space: object | None = None,
+        space: Box | None = None,
         parameters: dict[str, object] | None = None,
         tasks_per_worker: int = 2,
     ) -> RunReport:
@@ -677,9 +694,12 @@ class BatchExecutor:
         )
         plan = None
         if isinstance(algorithm, str):
-            plan = plan_join(
+            planned = plan_join(
                 a, b, algorithm, space=space,
                 page_size=workspace.page_size, parameters=parameters,
+            )
+            plan = (
+                planned.plan if isinstance(planned, PlanReport) else planned
             )
             algo = plan.create()
         else:

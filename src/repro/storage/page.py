@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._types import AnyArray, IntArray
 from repro.geometry.boxes import BoxArray
 from repro.geometry.slots import SlotPickleMixin
 from repro.storage.records import RecordCodec
@@ -36,7 +37,10 @@ class ElementPage(SlotPickleMixin):
 
     __slots__ = ("ids", "boxes")
 
-    def __init__(self, ids: np.ndarray, boxes: BoxArray) -> None:
+    ids: IntArray
+    boxes: BoxArray
+
+    def __init__(self, ids: AnyArray, boxes: BoxArray) -> None:
         ids = np.asarray(ids, dtype=np.int64)
         if ids.ndim != 1:
             raise ValueError("ids must be a 1-D array")

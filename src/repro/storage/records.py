@@ -24,6 +24,7 @@ import struct
 
 import numpy as np
 
+from repro._types import AnyArray, IntArray
 from repro.geometry.boxes import BoxArray
 
 
@@ -68,13 +69,13 @@ class RecordCodec:
             )
         return page_size // self.record_size
 
-    def encode(self, ids: np.ndarray, boxes: BoxArray) -> bytes:
+    def encode(self, ids: AnyArray, boxes: BoxArray) -> bytes:
         """Serialise ``ids`` + ``boxes`` into a byte string."""
         if boxes.ndim != self.ndim:
             raise ValueError("dimensionality mismatch")
         if len(ids) != len(boxes):
             raise ValueError("ids and boxes must have equal length")
-        parts = []
+        parts: list[bytes] = []
         for i in range(len(boxes)):
             parts.append(
                 self._struct.pack(
@@ -83,7 +84,7 @@ class RecordCodec:
             )
         return b"".join(parts)
 
-    def decode(self, data: bytes) -> tuple[np.ndarray, BoxArray]:
+    def decode(self, data: bytes) -> tuple[IntArray, BoxArray]:
         """Inverse of :meth:`encode`."""
         if len(data) % self.record_size != 0:
             raise ValueError("data length is not a multiple of the record size")

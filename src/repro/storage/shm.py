@@ -43,13 +43,21 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro._types import AnyArray, FloatArray, IntArray
+
+if TYPE_CHECKING:
+    from repro.joins.base import Dataset
+
 try:  # pragma: no cover - import guard for exotic platforms
-    from multiprocessing import shared_memory as _shared_memory
+    from multiprocessing.shared_memory import SharedMemory
+
+    _HAVE_SHM = True
 except ImportError:  # pragma: no cover
-    _shared_memory = None
+    _HAVE_SHM = False
 
 __all__ = [
     "FINGERPRINT_MAGIC",
@@ -68,7 +76,7 @@ FINGERPRINT_MAGIC = b"repro.dataset.v1"
 
 
 def content_fingerprint(
-    ids: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ids: AnyArray, lo: AnyArray, hi: AnyArray
 ) -> str:
     """Hex SHA-256 digest of a dataset's canonical content bytes.
 
@@ -92,7 +100,7 @@ def content_fingerprint(
 
 def shm_available() -> bool:
     """True when this platform can create shared-memory segments."""
-    return _shared_memory is not None
+    return _HAVE_SHM
 
 
 def shm_enabled() -> bool:
@@ -134,7 +142,7 @@ def _segment_nbytes(n: int, ndim: int) -> int:
 
 def _segment_views(
     buf: memoryview, n: int, ndim: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[IntArray, FloatArray, FloatArray]:
     """(ids, lo, hi) numpy views over a segment buffer."""
     ids_bytes = 8 * n
     side_bytes = 8 * n * ndim
@@ -169,7 +177,9 @@ class SharedDatasetPool:
             bool(enabled) and shm_available()
         )
         #: fingerprint -> (segment, ref, refcount)
-        self._segments: dict[str, tuple[object, SharedDatasetRef, int]] = {}
+        self._segments: dict[
+            str, tuple[SharedMemory, SharedDatasetRef, int]
+        ] = {}
 
     @property
     def enabled(self) -> bool:
@@ -181,7 +191,7 @@ class SharedDatasetPool:
         """Distinct shared-memory segments currently alive."""
         return len(self._segments)
 
-    def publish(self, dataset: object) -> SharedDatasetRef | None:
+    def publish(self, dataset: Any) -> SharedDatasetRef | None:
         """Copy a dataset's pages into shared memory; ``None`` = fall back.
 
         Accepts any object with ``ids`` (int64 ``(n,)``) and ``boxes``
@@ -206,7 +216,7 @@ class SharedDatasetPool:
             self._segments[fingerprint] = (shm, ref, count + 1)
             return ref
         try:
-            shm = _shared_memory.SharedMemory(
+            shm = SharedMemory(
                 create=True, size=_segment_nbytes(n, ndim)
             )
         except OSError:
@@ -223,18 +233,18 @@ class SharedDatasetPool:
             # shm.buf count as exported buffers and would make a later
             # close() raise BufferError.
             del dst_ids, dst_lo, dst_hi
+            ref = SharedDatasetRef(
+                name=str(getattr(dataset, "name", "")),
+                fingerprint=fingerprint,
+                segment=shm.name,
+                n=int(n),
+                ndim=int(ndim),
+            )
+            self._segments[fingerprint] = (shm, ref, 1)
         except BaseException:
             shm.close()
             shm.unlink()
             raise
-        ref = SharedDatasetRef(
-            name=str(getattr(dataset, "name", "")),
-            fingerprint=fingerprint,
-            segment=shm.name,
-            n=int(n),
-            ndim=int(ndim),
-        )
-        self._segments[fingerprint] = (shm, ref, 1)
         return ref
 
     def release(self, ref: SharedDatasetRef) -> None:
@@ -261,7 +271,7 @@ class SharedDatasetPool:
             self._destroy(shm)
 
     @staticmethod
-    def _destroy(shm: object) -> None:
+    def _destroy(shm: SharedMemory) -> None:
         try:
             shm.close()
         finally:
@@ -289,10 +299,10 @@ class SharedDatasetPool:
 #: segment name -> (SharedMemory, Dataset).  Both live for the worker's
 #: lifetime: the dataset's arrays are views over the mapping, so the
 #: mapping must never be closed while the dataset is reachable.
-_ATTACHED: dict[str, tuple[object, object]] = {}
+_ATTACHED: dict[str, tuple[SharedMemory, "Dataset"]] = {}
 
 
-def _attach_untracked(segment: str) -> object:
+def _attach_untracked(segment: str) -> SharedMemory:
     """Attach a segment without registering it for cleanup.
 
     The publisher owns every segment's lifecycle (it unlinks on release
@@ -308,21 +318,23 @@ def _attach_untracked(segment: str) -> object:
     try:  # pragma: no cover - tracker layout is an implementation detail
         from multiprocessing import resource_tracker
     except ImportError:  # pragma: no cover
-        return _shared_memory.SharedMemory(name=segment)
+        return SharedMemory(name=segment)
     original = resource_tracker.register
 
     def _skip_shared_memory(name: str, rtype: str) -> None:
         if rtype != "shared_memory":
             original(name, rtype)
 
-    resource_tracker.register = _skip_shared_memory
+    # setattr keeps the swap invisible to the typeshed signature of
+    # the tracker's bound method (which this shim narrows).
+    setattr(resource_tracker, "register", _skip_shared_memory)
     try:
-        return _shared_memory.SharedMemory(name=segment)
+        return SharedMemory(name=segment)
     finally:
-        resource_tracker.register = original
+        setattr(resource_tracker, "register", original)
 
 
-def attach_dataset(ref: SharedDatasetRef) -> object:
+def attach_dataset(ref: SharedDatasetRef) -> Dataset:
     """The dataset behind ``ref``, rebuilt as zero-copy views.
 
     Raises ``FileNotFoundError`` when the segment no longer exists
@@ -338,17 +350,28 @@ def attach_dataset(ref: SharedDatasetRef) -> object:
     cached = _ATTACHED.get(ref.segment)
     if cached is not None:
         return cached[1]
-    if _shared_memory is None:  # pragma: no cover - platform guard
+    if not _HAVE_SHM:  # pragma: no cover - platform guard
         raise RuntimeError(
             "shared memory is unavailable on this platform; the "
             "publisher should have fallen back to pickling"
         )
     shm = _attach_untracked(ref.segment)
-    ids, lo, hi = _segment_views(shm.buf, ref.n, ref.ndim)
-    for view in (ids, lo, hi):
-        view.setflags(write=False)
-    dataset = Dataset(name=ref.name, ids=ids, boxes=BoxArray(lo, hi))
-    _ATTACHED[ref.segment] = (shm, dataset)
+    try:
+        ids, lo, hi = _segment_views(shm.buf, ref.n, ref.ndim)
+        for view in (ids, lo, hi):
+            view.setflags(write=False)
+        dataset = Dataset(
+            name=ref.name, ids=ids, boxes=BoxArray(lo, hi)
+        )
+        _ATTACHED[ref.segment] = (shm, dataset)
+    except BaseException:
+        # An attach that fails after mapping must not leave the
+        # segment mapped in this worker.  Dropping the local view
+        # names first releases any buffer exports over shm.buf, so
+        # close() cannot itself fail with BufferError.
+        ids = lo = hi = dataset = None  # type: ignore[assignment]
+        shm.close()
+        raise
     return dataset
 
 

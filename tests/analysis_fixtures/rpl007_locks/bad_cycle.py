@@ -1,0 +1,41 @@
+"""Known-bad: AB/BA lock ordering, one side hidden behind a helper."""
+
+import threading
+
+
+class CyclicService:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._query_lock = threading.Lock()
+        self._items = []
+
+    def register(self, item):
+        # Direction one, lexically nested: _lock then _query_lock.
+        with self._lock:
+            with self._query_lock:
+                self._items.append(item)
+
+    def query(self, key):
+        # Direction two, through a call: _query_lock held while the
+        # helper takes _lock.
+        with self._query_lock:
+            return self._locked_lookup(key)
+
+    def _locked_lookup(self, key):
+        with self._lock:
+            return [item for item in self._items if item == key]
+
+
+class SelfDeadlock:
+    def __init__(self):
+        self._gate = threading.Lock()
+
+    def outer(self):
+        with self._gate:
+            return self._inner()
+
+    def _inner(self):
+        # Non-reentrant lock re-acquired under itself via the call
+        # from outer(): guaranteed deadlock on first use.
+        with self._gate:
+            return True

@@ -1,0 +1,24 @@
+"""Known-bad: process-pool fan-out while holding the service lock."""
+
+import threading
+
+from analysis_fixtures.rpl007_locks.executor import BatchExecutor
+
+
+class BlockingService:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._executor = BatchExecutor()
+
+    def submit(self, requests):
+        with self._lock:
+            # Multi-second fan-out under the lock: every other client
+            # queues behind this batch.
+            return self._executor.run(list(requests))
+
+    def submit_via_helper(self, requests):
+        with self._lock:
+            return self._dispatch(requests)
+
+    def _dispatch(self, requests):
+        return self._executor.run(list(requests))

@@ -1,0 +1,9 @@
+"""Stand-in executor so blocking-call resolution has a target."""
+
+
+class BatchExecutor:
+    def run(self, requests):
+        return list(requests)
+
+    def run_partitioned(self, requests, parts):
+        return [list(requests) for _ in range(parts)]

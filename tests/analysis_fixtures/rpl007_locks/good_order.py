@@ -1,0 +1,40 @@
+"""Known-good: one global lock order, executor called lock-free."""
+
+import threading
+
+from analysis_fixtures.rpl007_locks.executor import BatchExecutor
+
+
+class OrderedService:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._query_lock = threading.Lock()
+        self._executor = BatchExecutor()
+        self._pending = []
+
+    def submit(self, requests):
+        with self._lock:
+            batch = list(self._pending) + list(requests)
+            self._pending.clear()
+        # Fan-out happens outside every lock; results are folded back
+        # in under the lock afterwards.
+        results = self._executor.run(batch)
+        with self._lock:
+            self._pending.extend(r for r in results if r is None)
+        return results
+
+    def register(self, item):
+        # Consistent nesting: _lock may wrap _query_lock...
+        with self._lock:
+            with self._query_lock:
+                self._pending.append(item)
+
+    def _refresh(self):
+        # ...and helpers reached under _lock only ever take
+        # _query_lock, the same direction.
+        with self._query_lock:
+            return len(self._pending)
+
+    def snapshot(self):
+        with self._lock:
+            return self._refresh()

@@ -1,0 +1,26 @@
+"""Known-bad: segments that leak on exception or on every path."""
+
+from multiprocessing import shared_memory
+
+REGISTRY = {}
+
+
+def publish_leaky(payload):
+    """The copy can raise before ownership reaches the registry —
+    the pre-fix publish window: segment stays in /dev/shm forever."""
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    shm.buf[: len(payload)] = payload
+    REGISTRY[shm.name] = shm
+    return shm.name
+
+
+def attach_leaky(name, parse):
+    """Leaks on the exception edge of parse() *and* on the normal
+    path: the segment is never closed nor handed to anyone."""
+    shm = shared_memory.SharedMemory(name=name)
+    return parse(bytes(shm.buf[:8]))
+
+
+def fire_and_forget(payload):
+    """Result discarded: nothing can ever release this segment."""
+    shared_memory.SharedMemory(create=True, size=len(payload))

@@ -1,0 +1,40 @@
+"""Known-good: every acquisition path settles its obligation."""
+
+from multiprocessing import shared_memory
+
+REGISTRY = {}
+
+
+def publish_guarded(payload):
+    """Exception window closed by try/except around the risky part."""
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        shm.buf[: len(payload)] = payload
+        REGISTRY[shm.name] = shm  # ownership moves to the registry
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm.name
+
+
+def publish_with(payload):
+    """`with` acquisition: the context manager is the release."""
+    with shared_memory.SharedMemory(create=True, size=len(payload)) as shm:
+        shm.buf[: len(payload)] = payload
+        return bytes(shm.buf[: len(payload)])
+
+
+def attach_and_hand_off(name):
+    """Immediate escape: the caller owns the attached segment."""
+    shm = shared_memory.SharedMemory(name=name)
+    return shm
+
+
+def attach_in_finally(name, consume):
+    """Release in a finally block covers every path out."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return consume(bytes(shm.buf))
+    finally:
+        shm.close()

@@ -1,0 +1,16 @@
+"""Executes requests — including the `within` predicate the cache
+key in ``keys.py`` never sees."""
+
+from analysis_fixtures.rpl009_cachekey.bad.requests import JoinRequest
+from analysis_fixtures.rpl009_cachekey.bad.workspace import SpatialWorkspace
+
+
+def execute_request(request: JoinRequest, workspace: SpatialWorkspace):
+    return workspace.join(
+        request.a,
+        request.b,
+        algorithm=request.algorithm,
+        space=request.space,
+        parameters=request.parameters,
+        within=request.within,
+    )

@@ -1,0 +1,6 @@
+"""Cache-key derivation that predates the distance predicate."""
+
+
+def request_cache_key(fp_a, fp_b, algorithm, space, parameters):
+    params_sig = tuple(sorted(parameters.items()))
+    return (fp_a, fp_b, algorithm, space, params_sig)

@@ -1,0 +1,18 @@
+"""The request shape of the pre-PR-7 `within` cache bug, pinned.
+
+``within`` reaches execution (see ``executor.py``) but not the cache
+key (``keys.py``) — the exact defect RPL009 exists to catch.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    a: str
+    b: str
+    algorithm: str = "auto"
+    space: str = "euclidean"
+    parameters: dict = field(default_factory=dict)
+    label: str = ""
+    within: float = 0.0

@@ -1,0 +1,26 @@
+"""Cache lookup side: derives the key, then executes on a miss."""
+
+from analysis_fixtures.rpl009_cachekey.bad.executor import execute_request
+from analysis_fixtures.rpl009_cachekey.bad.keys import request_cache_key
+from analysis_fixtures.rpl009_cachekey.bad.requests import JoinRequest
+from analysis_fixtures.rpl009_cachekey.bad.workspace import SpatialWorkspace
+
+CACHE = {}
+
+
+def submit(request: JoinRequest, workspace: SpatialWorkspace):
+    key = request_cache_key(
+        request.a,
+        request.b,
+        request.algorithm,
+        request.space,
+        request.parameters,
+    )
+    cached = CACHE.get(key)
+    if cached is not None:
+        # A within=5.0 request that follows a within=0.0 request with
+        # the same datasets lands here and gets the wrong pairs.
+        return cached
+    result = execute_request(request, workspace)
+    CACHE[key] = result
+    return result

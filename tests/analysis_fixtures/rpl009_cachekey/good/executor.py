@@ -1,0 +1,15 @@
+"""Executes requests; everything it reads, the key also covers."""
+
+from analysis_fixtures.rpl009_cachekey.good.requests import JoinRequest
+from analysis_fixtures.rpl009_cachekey.good.workspace import SpatialWorkspace
+
+
+def execute_request(request: JoinRequest, workspace: SpatialWorkspace):
+    return workspace.join(
+        request.a,
+        request.b,
+        algorithm=request.algorithm,
+        space=request.space,
+        parameters=request.parameters,
+        within=request.within,
+    )

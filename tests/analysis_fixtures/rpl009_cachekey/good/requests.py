@@ -1,0 +1,14 @@
+"""Post-fix request shape: every executed field reaches the key."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    a: str
+    b: str
+    algorithm: str = "auto"
+    space: str = "euclidean"
+    parameters: dict = field(default_factory=dict)
+    label: str = ""
+    within: float = 0.0

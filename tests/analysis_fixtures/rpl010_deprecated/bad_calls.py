@@ -1,0 +1,19 @@
+"""Known-bad: internal traffic routed through the deprecated shim.
+
+``direct_caller`` hits it head-on; ``public_entry`` reaches it through
+a clean-looking private helper — the shipped ``distance_join`` shape.
+"""
+
+from analysis_fixtures.rpl010_deprecated.legacy import old_join
+
+
+def direct_caller(a, b):
+    return old_join(a, b)
+
+
+def _forwarding_helper(a, b):
+    return old_join(list(a), list(b))
+
+
+def public_entry(a, b):
+    return _forwarding_helper(a, b)

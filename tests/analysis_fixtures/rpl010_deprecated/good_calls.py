@@ -1,0 +1,15 @@
+"""Known-good: everything goes through the replacement API."""
+
+from analysis_fixtures.rpl010_deprecated.legacy import new_join
+
+
+def direct_caller(a, b):
+    return new_join(a, b)
+
+
+def _forwarding_helper(a, b):
+    return new_join(list(a), list(b))
+
+
+def public_entry(a, b):
+    return _forwarding_helper(a, b)

@@ -1,0 +1,16 @@
+"""A deprecated entry point and its replacement."""
+
+import warnings
+
+
+def old_join(a, b):
+    warnings.warn(
+        "old_join() is deprecated; use new_join()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return new_join(a, b)
+
+
+def new_join(a, b):
+    return [(x, y) for x in a for y in b if x == y]

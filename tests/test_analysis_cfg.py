@@ -1,0 +1,310 @@
+"""Unit tests for the intra-function CFG (exception-edge modeling)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import CFG, build_cfg
+
+
+def cfg_of(source: str) -> tuple[CFG, ast.FunctionDef]:
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func), func
+
+
+def stmt_at(func: ast.FunctionDef, line: int) -> ast.stmt:
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and node.lineno == line:
+            return node
+    raise AssertionError(f"no statement at line {line}")
+
+
+def reachable(
+    cfg: CFG, start: int, *, normal_only: bool = False
+) -> set[int]:
+    seen: set[int] = set()
+    stack = [start]
+    while stack:
+        index = stack.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        node = cfg.nodes[index]
+        stack.extend(node.normal)
+        if not normal_only:
+            stack.extend(node.exceptional)
+    return seen
+
+
+def test_straight_line_flows_entry_to_exit() -> None:
+    cfg, func = cfg_of(
+        """
+        def f():
+            a = 1
+            b = 2
+        """
+    )
+    first = cfg.node_for(stmt_at(func, 3))
+    second = cfg.node_for(stmt_at(func, 4))
+    assert first is not None and second is not None
+    assert cfg.nodes[cfg.entry].normal == [first.index]
+    assert first.normal == [second.index]
+    assert second.normal == [cfg.exit]
+    # Plain assignments cannot raise: no exception edges anywhere.
+    assert first.exceptional == [] and second.exceptional == []
+
+
+def test_calls_get_exception_edges_to_raise_exit() -> None:
+    cfg, func = cfg_of(
+        """
+        def f():
+            work()
+        """
+    )
+    node = cfg.node_for(stmt_at(func, 3))
+    assert node is not None
+    assert node.exceptional == [cfg.raise_exit]
+    assert cfg.successors(node.index) == [
+        (cfg.exit, False),
+        (cfg.raise_exit, True),
+    ]
+
+
+def test_if_without_else_falls_through_the_header() -> None:
+    cfg, func = cfg_of(
+        """
+        def f(flag):
+            if flag:
+                a = 1
+            b = 2
+        """
+    )
+    header = cfg.node_for(stmt_at(func, 3))
+    body = cfg.node_for(stmt_at(func, 4))
+    after = cfg.node_for(stmt_at(func, 5))
+    assert header is not None and body is not None and after is not None
+    assert set(header.normal) == {body.index, after.index}
+    assert body.normal == [after.index]
+
+
+def test_return_routes_to_exit_and_skips_the_rest() -> None:
+    cfg, func = cfg_of(
+        """
+        def f(flag):
+            if flag:
+                return early()
+            late = 1
+        """
+    )
+    ret = cfg.node_for(stmt_at(func, 4))
+    late = cfg.node_for(stmt_at(func, 5))
+    assert ret is not None and late is not None
+    assert ret.normal == [cfg.exit]
+    # The returned expression is a call: it can still raise.
+    assert ret.exceptional == [cfg.raise_exit]
+    assert late.index not in reachable(cfg, ret.index)
+
+
+def test_while_loop_has_back_edge_break_and_continue() -> None:
+    cfg, func = cfg_of(
+        """
+        def f(flag):
+            while flag:
+                if flag:
+                    break
+                continue
+            done = 1
+        """
+    )
+    header = cfg.node_for(stmt_at(func, 3))
+    brk = cfg.node_for(stmt_at(func, 5))
+    cont = cfg.node_for(stmt_at(func, 6))
+    done = cfg.node_for(stmt_at(func, 7))
+    assert header and brk and cont and done
+    assert cont.normal == [header.index]  # back edge
+    assert brk.normal == [done.index]  # break skips to after the loop
+    assert done.index in [n for n in header.normal]  # condition false
+
+
+def test_try_except_routes_raises_to_the_handler() -> None:
+    cfg, func = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                handled = 1
+            after = 2
+        """
+    )
+    risky = cfg.node_for(stmt_at(func, 4))
+    handled = cfg.node_for(stmt_at(func, 6))
+    after = cfg.node_for(stmt_at(func, 7))
+    assert risky and handled and after
+    # Narrow handler: the raise can land in the handler head (a node
+    # anchored on the handler's first statement) OR escape outward.
+    assert cfg.raise_exit in risky.exceptional
+    handler_heads = [
+        cfg.nodes[i]
+        for i in risky.exceptional
+        if i != cfg.raise_exit
+    ]
+    assert [n.stmt for n in handler_heads] == [handled.stmt]
+    assert set(risky.exceptional) == {
+        handler_heads[0].index,
+        cfg.raise_exit,
+    }
+    assert handled.normal == [after.index]
+
+
+def test_catch_all_handler_removes_the_escape_edge() -> None:
+    cfg, func = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            except Exception:
+                handled = 1
+        """
+    )
+    risky = cfg.node_for(stmt_at(func, 4))
+    handled = cfg.node_for(stmt_at(func, 6))
+    assert risky and handled
+    # A catch-all handler means the raise cannot escape the function.
+    assert cfg.raise_exit not in risky.exceptional
+    assert [cfg.nodes[i].stmt for i in risky.exceptional] == [
+        handled.stmt
+    ]
+
+
+def test_handler_body_raises_escape_not_to_siblings() -> None:
+    cfg, func = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                rethrow()
+            except KeyError:
+                other = 1
+        """
+    )
+    rethrow = cfg.node_for(stmt_at(func, 6))
+    sibling = cfg.node_for(stmt_at(func, 8))
+    assert rethrow and sibling
+    assert rethrow.exceptional == [cfg.raise_exit]
+    assert sibling.index not in rethrow.exceptional
+
+
+def test_finally_funnels_all_exits_through_its_body() -> None:
+    cfg, func = cfg_of(
+        """
+        def f(flag):
+            try:
+                if flag:
+                    return early()
+                risky()
+            finally:
+                cleanup()
+        """
+    )
+    ret = cfg.node_for(stmt_at(func, 5))
+    risky = cfg.node_for(stmt_at(func, 6))
+    cleanup = cfg.node_for(stmt_at(func, 8))
+    assert ret and risky and cleanup
+    # Return and the raising statement both route into the finally,
+    # never straight to EXIT/RAISE.
+    anchor = cfg.node_for(stmt_at(func, 3))  # the Try statement
+    assert anchor is not None
+    assert ret.normal == [anchor.index]
+    assert risky.exceptional == [anchor.index]
+    # The finally body's exit fans out: EXIT (the funneled return)
+    # and the outer exception continuation (re-raise after cleanup).
+    assert cfg.exit in cleanup.normal
+    assert cfg.raise_exit in cleanup.exceptional
+
+
+def test_bare_raise_only_reaches_exception_targets() -> None:
+    cfg, func = cfg_of(
+        """
+        def f():
+            raise ValueError("boom")
+            dead = 1
+        """
+    )
+    raise_node = cfg.node_for(stmt_at(func, 3))
+    dead = cfg.node_for(stmt_at(func, 4))
+    assert raise_node and dead
+    assert raise_node.normal == []
+    assert raise_node.exceptional == [cfg.raise_exit]
+    assert dead.index not in reachable(cfg, raise_node.index)
+
+
+def test_assert_has_both_pass_and_fail_edges() -> None:
+    cfg, func = cfg_of(
+        """
+        def f(x):
+            assert x
+            after = 1
+        """
+    )
+    node = cfg.node_for(stmt_at(func, 3))
+    after = cfg.node_for(stmt_at(func, 4))
+    assert node and after
+    assert node.normal == [after.index]
+    assert node.exceptional == [cfg.raise_exit]
+
+
+def test_with_body_flows_through_the_header() -> None:
+    cfg, func = cfg_of(
+        """
+        def f():
+            with open_it() as handle:
+                use(handle)
+        """
+    )
+    header = cfg.node_for(stmt_at(func, 3))
+    body = cfg.node_for(stmt_at(func, 4))
+    assert header and body
+    assert header.normal == [body.index]
+    assert header.exceptional == [cfg.raise_exit]
+
+
+def test_match_branches_and_falls_through() -> None:
+    cfg, func = cfg_of(
+        """
+        def f(x):
+            match x:
+                case 1:
+                    a = 1
+                case _:
+                    b = 2
+            after = 3
+        """
+    )
+    a = cfg.node_for(stmt_at(func, 5))
+    b = cfg.node_for(stmt_at(func, 7))
+    after = cfg.node_for(stmt_at(func, 8))
+    assert a and b and after
+    assert a.normal == [after.index]
+    assert b.normal == [after.index]
+
+
+def test_nested_function_bodies_are_not_part_of_the_cfg() -> None:
+    cfg, func = cfg_of(
+        """
+        def f():
+            def inner():
+                risky()
+            return inner
+        """
+    )
+    inner_def = cfg.node_for(stmt_at(func, 3))
+    assert inner_def is not None
+    # Defining a function runs no body code: no exception edge.
+    assert inner_def.exceptional == []
+    # The call inside `inner` got no node of its own.
+    inner_call = stmt_at(func, 4)
+    assert cfg.node_for(inner_call) is None

@@ -1,0 +1,244 @@
+"""Coverage for the module/project context and baseline round-trips."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    save_baseline,
+)
+from repro.analysis.context import (
+    ModuleContext,
+    module_name_for,
+    parse_suppressions,
+)
+from repro.analysis.findings import Finding
+
+
+def make_module(source: str, name: str = "m") -> ModuleContext:
+    return ModuleContext(
+        path=Path(f"{name}.py"),
+        display_path=f"{name}.py",
+        name=name,
+        source=source,
+        tree=ast.parse(source),
+        suppressions=parse_suppressions(source),
+    )
+
+
+# ----------------------------------------------------------------------
+# module_name_for
+# ----------------------------------------------------------------------
+def test_module_name_walks_up_init_files(tmp_path: Path) -> None:
+    pkg = tmp_path / "outer" / "inner"
+    pkg.mkdir(parents=True)
+    (tmp_path / "outer" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("")
+    assert module_name_for(pkg / "mod.py") == "outer.inner.mod"
+    assert module_name_for(pkg / "__init__.py") == "outer.inner"
+
+
+def test_module_name_for_loose_file_is_its_stem(tmp_path: Path) -> None:
+    loose = tmp_path / "script.py"
+    loose.write_text("")
+    assert module_name_for(loose) == "script"
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+def test_bare_ignore_suppresses_every_rule() -> None:
+    module = make_module("x = 1  # repro: ignore\n")
+    assert module.is_suppressed("RPL001", 1)
+    assert module.is_suppressed("RPL999", 1)
+    assert not module.is_suppressed("RPL001", 2)
+
+
+def test_bracketed_ignore_suppresses_only_named_rules() -> None:
+    module = make_module("x = 1  # repro: ignore[RPL001, RPL005]\n")
+    assert module.is_suppressed("RPL001", 1)
+    assert module.is_suppressed("RPL005", 1)
+    assert not module.is_suppressed("RPL002", 1)
+
+
+def test_suppression_rule_ids_are_case_insensitive() -> None:
+    module = make_module("x = 1  # repro: ignore[rpl003]\n")
+    assert module.is_suppressed("RPL003", 1)
+    assert module.is_suppressed("rpl003", 1)
+
+
+def test_empty_bracket_list_means_suppress_everything() -> None:
+    # `# repro: ignore[]` parses to an empty set, which normalizes to
+    # the bare-ignore meaning rather than "suppress nothing".
+    assert parse_suppressions("x = 1  # repro: ignore[]\n") == {1: None}
+    assert parse_suppressions("x = 1  # repro: ignore[ , ]\n") == {
+        1: None
+    }
+
+
+def test_suppression_survives_tight_spacing_and_trailing_text() -> None:
+    suppressions = parse_suppressions(
+        "a = 1  #repro:ignore[RPL001]\n"
+        "b = 2  # repro: ignore[RPL002]  (rationale in the PR)\n"
+    )
+    assert suppressions == {
+        1: frozenset({"RPL001"}),
+        2: frozenset({"RPL002"}),
+    }
+
+
+def test_unrelated_comments_do_not_suppress() -> None:
+    assert parse_suppressions("x = 1  # ignore[RPL001]\n") == {}
+    assert parse_suppressions("x = 1  # repro: ignored\n") == {}
+
+
+# ----------------------------------------------------------------------
+# ModuleContext helpers
+# ----------------------------------------------------------------------
+def test_ancestors_walk_innermost_first() -> None:
+    module = make_module(
+        "class C:\n"
+        "    def m(self):\n"
+        "        x = 1\n"
+    )
+    assign = module.tree.body[0].body[0].body[0]  # type: ignore[attr-defined]
+    chain = module.ancestors(assign)
+    kinds = [type(node).__name__ for node in chain]
+    assert kinds == ["FunctionDef", "ClassDef", "Module"]
+
+
+def test_top_level_bindings_see_conditional_imports() -> None:
+    module = make_module(
+        "try:\n"
+        "    import fast_path as impl\n"
+        "except ImportError:\n"
+        "    impl = None\n"
+        "if True:\n"
+        "    from os import sep\n"
+        "for i in range(3):\n"
+        "    counter = i\n"
+        "limit: int = 5\n"
+        "def fn():\n"
+        "    hidden = 1\n"
+    )
+    bound = module.top_level_bindings()
+    assert {"impl", "sep", "i", "counter", "limit", "fn"} <= bound
+    assert "hidden" not in bound
+
+
+def test_dunder_all_collects_literal_extensions_only() -> None:
+    module = make_module(
+        "__all__ = [\"a\", \"b\"]\n"
+        "__all__ += [\"c\"]\n"
+        "__all__ += compute()\n"
+    )
+    assert [name for name, _ in module.dunder_all()] == ["a", "b", "c"]
+
+
+def test_name_segments_split_the_dotted_name() -> None:
+    module = make_module("x = 1\n", name="repro.storage.shm")
+    assert module.name_segments == ("repro", "storage", "shm")
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trips
+# ----------------------------------------------------------------------
+def finding(rule: str, path: str, symbol: str) -> Finding:
+    return Finding(
+        path=path,
+        line=1,
+        column=0,
+        rule=rule,
+        symbol=symbol,
+        message="msg",
+    )
+
+
+def test_baseline_round_trip_preserves_counts(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+    findings = [
+        finding("RPL001", "a.py", "f"),
+        finding("RPL001", "a.py", "f"),  # same key twice: count 2
+        finding("RPL002", "b.py", "g"),
+    ]
+    save_baseline(target, findings)
+    loaded = load_baseline(target)
+    assert loaded[("RPL001", "a.py", "f")] == 2
+    assert loaded[("RPL002", "b.py", "g")] == 1
+
+
+def test_rewriting_a_shrunk_run_shrinks_the_baseline(
+    tmp_path: Path,
+) -> None:
+    target = tmp_path / "baseline.json"
+    save_baseline(
+        target,
+        [
+            finding("RPL001", "a.py", "f"),
+            finding("RPL001", "a.py", "f"),
+        ],
+    )
+    # One violation fixed; --write-baseline snapshots the current run,
+    # so the stale second entry must not survive the rewrite.
+    save_baseline(target, [finding("RPL001", "a.py", "f")])
+    assert load_baseline(target)[("RPL001", "a.py", "f")] == 1
+
+
+def test_partition_is_count_aware() -> None:
+    from collections import Counter
+
+    baseline: Counter[tuple[str, str, str]] = Counter(
+        {("RPL001", "a.py", "f"): 1}
+    )
+    new, known = partition(
+        [
+            finding("RPL001", "a.py", "f"),
+            finding("RPL001", "a.py", "f"),
+        ],
+        baseline,
+    )
+    assert len(known) == 1
+    assert len(new) == 1
+
+
+def test_baseline_handles_unicode_paths(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+    path = "src/répro/façade_ユニット.py"
+    save_baseline(target, [finding("RPL001", path, "naïve_fn")])
+    loaded = load_baseline(target)
+    assert loaded[("RPL001", path, "naïve_fn")] == 1
+    new, known = partition(
+        [finding("RPL001", path, "naïve_fn")], loaded
+    )
+    assert new == [] and len(known) == 1
+
+
+def test_baseline_rejects_malformed_files(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+
+    target.write_text("{not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        load_baseline(target)
+
+    target.write_text("[]")
+    with pytest.raises(BaselineError, match="top level"):
+        load_baseline(target)
+
+    target.write_text('{"version": 99, "findings": []}')
+    with pytest.raises(BaselineError, match="unsupported version"):
+        load_baseline(target)
+
+    target.write_text('{"version": 1, "findings": {}}')
+    with pytest.raises(BaselineError, match="must be a list"):
+        load_baseline(target)
+
+    target.write_text('{"version": 1, "findings": [{"rule": "R"}]}')
+    with pytest.raises(BaselineError, match="missing field"):
+        load_baseline(target)

@@ -36,7 +36,18 @@ TESTS_DIR = Path(__file__).resolve().parent
 FIXTURES = TESTS_DIR / "analysis_fixtures"
 REPO_ROOT = TESTS_DIR.parent
 
-ALL_RULE_IDS = ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006")
+ALL_RULE_IDS = (
+    "RPL001",
+    "RPL002",
+    "RPL003",
+    "RPL004",
+    "RPL005",
+    "RPL006",
+    "RPL007",
+    "RPL008",
+    "RPL009",
+    "RPL010",
+)
 
 
 def make_finding(symbol: str = "Thing", rule: str = "RPL001") -> Finding:
@@ -257,6 +268,239 @@ def test_cli_disable_silences_a_rule(
     )
     capsys.readouterr()
     assert code == 0
+
+
+# ----------------------------------------------------------------------
+# Exit-code separation: 1 = findings, 2 = usage/internal errors
+# ----------------------------------------------------------------------
+def test_cli_unknown_rule_id_is_a_usage_error(
+    in_repo_root: None, capsys: pytest.CaptureFixture[str]
+) -> None:
+    code = main(["src", "--select", "RPL999"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown rule id" in captured.err
+    code = main(["src", "--disable", "NOPE"])
+    assert code == 2
+
+
+def test_cli_bad_jobs_is_a_usage_error(
+    in_repo_root: None, capsys: pytest.CaptureFixture[str]
+) -> None:
+    code = main(["src", "--jobs", "0"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--jobs" in captured.err
+
+
+def test_cli_nonexistent_path_is_a_usage_error(
+    in_repo_root: None, capsys: pytest.CaptureFixture[str]
+) -> None:
+    # A typo'd path must not report a clean 0-file scan.
+    code = main(["no/such/dir"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "do not exist" in captured.err
+
+
+def test_cli_write_baseline_conflicts_with_changed_only(
+    in_repo_root: None,
+    tmp_path: Path,
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    code = main(
+        [
+            "src",
+            "--changed-only",
+            "HEAD",
+            "--write-baseline",
+            str(tmp_path / "b.json"),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--changed-only" in captured.err
+
+
+def test_cli_findings_exit_one_not_two(
+    in_repo_root: None, capsys: pytest.CaptureFixture[str]
+) -> None:
+    # Dirty tree (exit 1) must stay distinguishable from the usage
+    # errors above (exit 2).
+    code = main(
+        ["tests/analysis_fixtures/rpl001_pickle", "--select", "RPL001"]
+    )
+    capsys.readouterr()
+    assert code == 1
+
+
+@pytest.mark.skipif(
+    __import__("shutil").which("git") is None, reason="git unavailable"
+)
+def test_cli_changed_only_bad_ref_is_a_usage_error(
+    in_repo_root: None, capsys: pytest.CaptureFixture[str]
+) -> None:
+    code = main(
+        ["src", "--changed-only", "no-such-ref-xyzzy"]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "git failed" in captured.err
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+def test_cli_sarif_format(
+    in_repo_root: None, capsys: pytest.CaptureFixture[str]
+) -> None:
+    code = main(
+        [
+            "tests/analysis_fixtures/rpl001_pickle",
+            "--select",
+            "RPL001",
+            "--format",
+            "sarif",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert set(ALL_RULE_IDS) <= rule_ids
+    results = run["results"]
+    assert {r["ruleId"] for r in results} == {"RPL001"}
+    location = results[0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("bad_slots.py")
+    assert location["region"]["startLine"] >= 1
+    assert location["region"]["startColumn"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Changed-only scoping (engine level: strongly-connected dependents)
+# ----------------------------------------------------------------------
+def _write_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "proj"
+    for name, body in files.items():
+        target = root / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(body)
+    return root
+
+
+def test_changed_scope_is_the_dependent_closure(tmp_path: Path) -> None:
+    # a imports b imports c; d and e form an import cycle.
+    root = _write_tree(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "from pkg import b\n",
+            "pkg/b.py": "from pkg import c\n",
+            "pkg/c.py": "VALUE = 1\n",
+            "pkg/d.py": "from pkg import e\n",
+            "pkg/e.py": "import pkg.d\n",
+        },
+    )
+    result = analyze_paths(
+        AnalysisRequest(
+            paths=[root],
+            tests_roots=(),
+            root=tmp_path,
+            changed=("proj/pkg/c.py",),
+        )
+    )
+    # c changed; b imports c directly -> in scope.  a only imports b,
+    # so it is NOT re-analyzed on a one-file diff of c.
+    scoped = set(result.project.modules)
+    assert scoped == {"pkg.c", "pkg.b"}
+    assert result.files_scanned == 2
+
+
+def test_changed_scope_includes_the_whole_import_cycle(
+    tmp_path: Path,
+) -> None:
+    root = _write_tree(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/d.py": "from pkg import e\n",
+            "pkg/e.py": "import pkg.d\n",
+        },
+    )
+    result = analyze_paths(
+        AnalysisRequest(
+            paths=[root],
+            tests_roots=(),
+            root=tmp_path,
+            changed=("proj/pkg/e.py",),
+        )
+    )
+    # d and e are one strongly-connected component: changing e
+    # re-analyzes both.
+    assert set(result.project.modules) == {"pkg.d", "pkg.e"}
+
+
+def test_changed_scope_keeps_parse_errors_only_for_changed_files(
+    tmp_path: Path,
+) -> None:
+    root = _write_tree(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/ok.py": "VALUE = 1\n",
+            "pkg/broken.py": "def half(:\n",
+        },
+    )
+    untouched = analyze_paths(
+        AnalysisRequest(
+            paths=[root],
+            tests_roots=(),
+            root=tmp_path,
+            changed=("proj/pkg/ok.py",),
+        )
+    )
+    assert untouched.findings == []
+    touched = analyze_paths(
+        AnalysisRequest(
+            paths=[root],
+            tests_roots=(),
+            root=tmp_path,
+            changed=("proj/pkg/broken.py",),
+        )
+    )
+    assert [f.rule for f in touched.findings] == [PARSE_ERROR_RULE]
+
+
+@pytest.mark.skipif(
+    __import__("shutil").which("git") is None, reason="git unavailable"
+)
+def test_cli_changed_only_against_head_is_quiet(
+    in_repo_root: None, capsys: pytest.CaptureFixture[str]
+) -> None:
+    code = main(["src", "--changed-only", "HEAD"])
+    captured = capsys.readouterr()
+    assert code in (0, 1)
+    assert "changed-only vs HEAD" in captured.out
+
+
+# ----------------------------------------------------------------------
+# Parallel parse: same result with and without the process pool
+# ----------------------------------------------------------------------
+def test_parallel_and_serial_parse_agree() -> None:
+    src = REPO_ROOT / "src"
+    serial = analyze_paths(
+        AnalysisRequest(
+            paths=[src], tests_roots=(), root=REPO_ROOT, jobs=1
+        )
+    )
+    parallel = analyze_paths(
+        AnalysisRequest(
+            paths=[src], tests_roots=(), root=REPO_ROOT, jobs=2
+        )
+    )
+    assert serial.findings == parallel.findings
+    assert serial.files_scanned == parallel.files_scanned
 
 
 # ----------------------------------------------------------------------
