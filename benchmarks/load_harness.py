@@ -1,0 +1,569 @@
+"""Sustained-load harness for the sharded service tier.
+
+Drives mixed join / range-query / rebind traffic against a query
+service with a **closed-loop client model**: each of ``clients``
+threads issues a request, waits for its response, then sleeps until
+its next pacing slot (one slot every ``clients / target_qps`` seconds
+per client).  Under a saturating target the sleep collapses to zero
+and the achieved QPS measures service capacity; under a light target
+it measures latency at a controlled arrival rate — the paper-shaped
+question for a serving tier ("what does p99 look like at the load we
+actually expect?").
+
+The schedule is deterministic: one seeded RNG per run draws the op
+mix (joins with cycling parameter variants so the result cache is
+exercised but not saturated, range queries, and occasional rebinds
+that cycle each name through pinned dataset variants), so two runs of
+the same profile issue the identical request sequence.
+
+``measure_load_section`` runs the same workload against
+
+* a :class:`~repro.service.ShardedQueryService` (4 process shards —
+  the deployment shape), and
+* a single-process :class:`~repro.service.SpatialQueryService`
+  (the PR-5 baseline),
+
+records throughput and per-op p50/p90/p99 for both, and closes with a
+**byte-identity pass**: a rebind-free request ladder through fresh
+instances of both tiers whose reports must match byte-for-byte —
+sharding is a throughput optimization, never a semantics change.  A
+small pinned single-process join is re-measured every run as the
+machine-speed probe (``reference_join_s``) so baselines recorded on a
+different machine can be compared fairly.
+
+Usage::
+
+    # Record numbers (also runs inside benchmarks/trajectory.py):
+    PYTHONPATH=src python benchmarks/load_harness.py --profile pinned
+
+    # CI load-smoke: run small, gate against the committed trajectory:
+    PYTHONPATH=src python benchmarks/load_harness.py --profile smoke \
+        --baseline BENCH_pr9.json --output load_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.datagen import scaled_space, uniform_dataset
+from repro.engine import JoinRequest
+from repro.harness.runner import scale_counts
+from repro.metrics import latency_summary
+from repro.service import ShardedQueryService, SpatialQueryService
+
+#: Profile name -> workload scale (multiplies the pinned sizes).
+PROFILES = {
+    "pinned": 0.25,
+    "smoke": 0.05,
+}
+
+#: Paced-phase arrival rate per profile (requests/s), pinned well
+#: below either tier's capacity: a queue-free arrival process makes
+#: the recorded percentiles service latency, not queue depth, which is
+#: what keeps the p99 gate stable across runs.
+PACED_QPS = {
+    "pinned": 12.0,
+    "smoke": 40.0,
+}
+
+#: Required sharded/single capacity ratio per profile.  At pinned
+#: scale the joins are compute-bound and the 4-shard tier must win
+#: outright; at smoke scale a join is sub-millisecond, IPC overhead is
+#: comparable to the work itself, and parity (within noise) is the
+#: honest floor.
+MIN_THROUGHPUT_RATIO = {
+    "pinned": 1.0,
+    "smoke": 0.8,
+}
+
+#: Dataset names served during the load phase; each has two pinned
+#: content variants the rebind op cycles through.
+NAMES = ("ds0", "ds1", "ds2", "ds3")
+
+#: Join algorithms in the mix (registry names).
+ALGORITHMS = ("transformers", "pbsm")
+
+#: Operation mix (fractions of the request stream).
+MIX = {"join": 0.7, "range": 0.25, "rebind": 0.05}
+
+#: Distinct parameter variants per (pair, algorithm).  Deliberately
+#: wide: the serving tier exists for compute-bound traffic, so the
+#: load mix must be dominated by genuine cache *misses* (each variant
+#: is a distinct cache key).  The repeated-verbatim transformers
+#: requests keep a hit component in the mix.
+PARAMETER_VARIANTS = 12
+
+
+def _corpus(scale: float) -> tuple[object, dict[str, list]]:
+    """space, name -> [variant0, variant1] with disjoint id spaces."""
+    n = scale_counts([2_000], scale)[0]
+    space = scaled_space(2 * n)
+    variants = {
+        name: [
+            uniform_dataset(
+                n,
+                seed=700 + 10 * i + version,
+                name=f"{name}v{version}",
+                id_offset=i * 10**9,
+                space=space,
+            )
+            for version in range(2)
+        ]
+        for i, name in enumerate(NAMES)
+    }
+    return space, variants
+
+
+@dataclass
+class _ClientLog:
+    """Per-client outcome log (merged after the run)."""
+
+    latencies: dict[str, list[float]] = field(
+        default_factory=lambda: {"join": [], "range": [], "rebind": []}
+    )
+    failures: int = 0
+    degraded: int = 0
+    rejected: int = 0
+
+
+def _schedule(seed: int, requests: int) -> list[tuple]:
+    """The deterministic op sequence one client executes."""
+    rng = random.Random(seed)
+    ops = []
+    kinds, weights = zip(*MIX.items())
+    for _ in range(requests):
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "join":
+            a, b = rng.sample(NAMES, 2)
+            ops.append(
+                (
+                    "join",
+                    a,
+                    b,
+                    rng.choice(ALGORITHMS),
+                    rng.randrange(PARAMETER_VARIANTS),
+                )
+            )
+        elif kind == "range":
+            ops.append(("range", rng.choice(NAMES)))
+        else:
+            ops.append(("rebind", rng.choice(NAMES), rng.randrange(2)))
+    return ops
+
+
+def run_load(
+    service: object,
+    space: object,
+    variants: dict[str, list],
+    *,
+    clients: int,
+    requests_per_client: int,
+    target_qps: float,
+    seed: int = 97,
+) -> dict:
+    """Drive the closed-loop workload; returns the load result dict.
+
+    ``service`` is either tier — both expose ``submit`` /
+    ``range_query`` / ``register`` with the same contract.
+    """
+    interval = clients / target_qps if target_qps > 0 else 0.0
+    logs = [_ClientLog() for _ in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        log = logs[index]
+        ops = _schedule(seed + index, requests_per_client)
+        barrier.wait()
+        next_slot = time.perf_counter()
+        for op in ops:
+            now = time.perf_counter()
+            if interval and now < next_slot:
+                time.sleep(next_slot - now)
+            next_slot = max(next_slot + interval, now)
+            t0 = time.perf_counter()
+            try:
+                if op[0] == "join":
+                    _, a, b, algorithm, variant = op
+                    # PBSM's grid resolution is the cache-key knob
+                    # (each variant is a distinct key, so the mix has
+                    # genuine misses); transformers requests repeat
+                    # verbatim and exercise the hit path.
+                    response = service.submit(
+                        JoinRequest(
+                            a,
+                            b,
+                            algorithm,
+                            parameters=(
+                                {"resolution": 2 + variant}
+                                if algorithm == "pbsm"
+                                else None
+                            ),
+                        )
+                    )
+                    if response.report is None:
+                        if response.error_type in (
+                            "ShardSaturated",
+                            "ClientQuotaExceeded",
+                        ):
+                            log.rejected += 1
+                        else:
+                            log.failures += 1
+                    elif getattr(response, "degraded", False):
+                        log.degraded += 1
+                elif op[0] == "range":
+                    service.range_query(op[1], space)
+                else:
+                    _, name, version = op
+                    service.register(name, variants[name][version])
+            except Exception:
+                log.failures += 1
+            log.latencies[op[0]].append(time.perf_counter() - t0)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - t_start
+
+    merged: dict[str, list[float]] = {"join": [], "range": [], "rebind": []}
+    for log in logs:
+        for kind, samples in log.latencies.items():
+            merged[kind].extend(samples)
+    total = sum(len(samples) for samples in merged.values())
+    ops_summary = {
+        kind: {
+            "count": len(samples),
+            **{
+                k: round(v, 6)
+                for k, v in latency_summary(samples).items()
+                if k != "count"
+            },
+        }
+        for kind, samples in merged.items()
+        if samples
+    }
+    all_samples = sorted(
+        sample for samples in merged.values() for sample in samples
+    )
+    return {
+        "clients": clients,
+        "requests": total,
+        "target_qps": target_qps,
+        "achieved_qps": round(total / max(duration, 1e-9), 2),
+        "duration_s": round(duration, 4),
+        "failures": sum(log.failures for log in logs),
+        "degraded": sum(log.degraded for log in logs),
+        "rejected": sum(log.rejected for log in logs),
+        "p50_s": round(
+            all_samples[len(all_samples) // 2], 6
+        ) if all_samples else 0.0,
+        "p99_s": round(
+            all_samples[min(len(all_samples) - 1,
+                            int(len(all_samples) * 0.99))], 6
+        ) if all_samples else 0.0,
+        "ops": ops_summary,
+    }
+
+
+def _reference_join_s() -> float:
+    """The machine-speed probe: one pinned single-process join.
+
+    Identical work in every run of every profile, so the ratio of two
+    trajectories' values is the relative speed of their machines.
+    """
+    n = 1_500
+    space = scaled_space(2 * n)
+    a = uniform_dataset(n, seed=881, name="refA", space=space)
+    b = uniform_dataset(
+        n, seed=882, name="refB", id_offset=10**9, space=space
+    )
+    best = float("inf")
+    for _ in range(3):
+        fresh = JoinRequest(a, b, "pbsm", parameters={"resolution": 3})
+        t0 = time.perf_counter()
+        SpatialQueryService().submit(fresh).raise_for_failure()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _byte_identity_pass(scale: float) -> dict:
+    """Rebind-free ladder through fresh instances of both tiers.
+
+    Uses its own fresh services (not the loaded ones) so the check is
+    exactly the semantics question: same requests, same bytes.
+    """
+    _, variants = _corpus(scale)
+    single = SpatialQueryService()
+    requests = [
+        JoinRequest(a, b, algorithm, parameters={"resolution": 3}
+                    if algorithm == "pbsm" else None)
+        for a, b in (("ds0", "ds1"), ("ds1", "ds2"), ("ds2", "ds3"))
+        for algorithm in ALGORITHMS
+    ]
+    checked = 0
+    identical = True
+    with ShardedQueryService(4) as sharded:
+        for name in NAMES:
+            single.register(name, variants[name][0])
+            sharded.register(name, variants[name][0])
+        for request in requests:
+            expected = single.submit(request).raise_for_failure()
+            actual = sharded.submit(request).raise_for_failure()
+            checked += 1
+            if (
+                actual.report.result.pairs.tobytes()
+                != expected.report.result.pairs.tobytes()
+            ):
+                identical = False
+    return {"requests": checked, "byte_identical": identical}
+
+
+def measure_load_section(scale: float, profile: str = "smoke") -> dict:
+    """The trajectory's ``load`` section: both tiers plus identity.
+
+    Three phases: a saturating **capacity** run of each tier (the
+    achieved QPS is the capacity the throughput gates compare), a
+    **paced** run of the sharded tier at a fixed sub-capacity arrival
+    rate (queue-free, so its percentiles are service latency rather
+    than queue depth — the phase the p99 gate reads), and the
+    byte-identity pass.
+    """
+    clients = 8
+    requests_per_client = scale_counts([400], scale)[0]
+    # A deliberately saturating target: the achieved QPS then measures
+    # capacity, which is what the sharded-vs-single ratio gates.
+    target_qps = 10_000.0
+
+    out: dict = {
+        "scale": scale,
+        "reference_join_s": round(_reference_join_s(), 6),
+    }
+
+    space, variants = _corpus(scale)
+    with ShardedQueryService(4, max_inflight_per_shard=16) as sharded:
+        for name in NAMES:
+            sharded.register(name, variants[name][0])
+        out["sharded"] = run_load(
+            sharded,
+            space,
+            variants,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            target_qps=target_qps,
+        )
+        out["sharded"]["shards"] = sharded.shards
+        out["sharded"]["respawns"] = sum(sharded.shard_respawns())
+
+    single = SpatialQueryService()
+    for name in NAMES:
+        single.register(name, variants[name][0])
+    out["single"] = run_load(
+        single,
+        space,
+        variants,
+        clients=clients,
+        requests_per_client=requests_per_client,
+        target_qps=target_qps,
+    )
+
+    out["throughput_ratio"] = round(
+        out["sharded"]["achieved_qps"]
+        / max(out["single"]["achieved_qps"], 1e-9),
+        3,
+    )
+
+    # Paced phase: fresh sharded tier, fixed sub-capacity arrival rate,
+    # its own seed so the schedule differs from the capacity phase.
+    paced_qps = PACED_QPS.get(profile, PACED_QPS["smoke"])
+    with ShardedQueryService(4, max_inflight_per_shard=16) as paced:
+        for name in NAMES:
+            paced.register(name, variants[name][0])
+        # 400 samples puts the p99 at the 4th-worst observation
+        # instead of riding a single outlier.
+        out["paced"] = run_load(
+            paced,
+            space,
+            variants,
+            clients=4,
+            requests_per_client=max(requests_per_client, 100),
+            target_qps=paced_qps,
+            seed=131,
+        )
+
+    out["identity"] = _byte_identity_pass(scale)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def compare_load(
+    current: dict,
+    baseline: dict,
+    profile: str,
+    *,
+    max_p99_regression: float = 0.25,
+    max_qps_drop: float = 0.25,
+    min_throughput_ratio: float | None = None,
+) -> list[str]:
+    """Failures of ``current`` against ``baseline`` (empty = pass).
+
+    Wall-clock quantities are normalised by the ``reference_join_s``
+    machine-speed probe before comparison, like the trajectory suite's
+    wall gate: a slower runner moves probe and percentiles together; a
+    code regression moves only the percentiles.  The p99 gate reads the
+    **paced** phase (queue-free service latency); the throughput gates
+    read the saturating capacity phase.  The ratio floor defaults per
+    profile (:data:`MIN_THROUGHPUT_RATIO`) — 1.0 at pinned scale, where
+    the tier must win outright, looser at smoke scale where
+    sub-millisecond joins make the ratio noise-dominated.
+    """
+    if min_throughput_ratio is None:
+        min_throughput_ratio = MIN_THROUGHPUT_RATIO.get(profile, 0.8)
+    failures: list[str] = []
+    if not current["identity"]["byte_identical"]:
+        failures.append(
+            f"{profile}/load: sharded responses are not byte-identical "
+            "to the single-process oracle"
+        )
+    if current["throughput_ratio"] < min_throughput_ratio:
+        failures.append(
+            f"{profile}/load: sharded throughput ratio "
+            f"{current['throughput_ratio']}x fell below the "
+            f"{min_throughput_ratio}x floor for this profile"
+        )
+    failed = current["sharded"]["failures"] + current.get(
+        "paced", {}
+    ).get("failures", 0)
+    if failed:
+        failures.append(
+            f"{profile}/load: {failed} request(s) failed under load"
+        )
+    cur_ref = current.get("reference_join_s", 0.0)
+    base_ref = baseline.get("reference_join_s", 0.0)
+    speed = (
+        cur_ref / base_ref if cur_ref > 0.0 and base_ref > 0.0 else 1.0
+    )
+    base_p99 = baseline.get("paced", {}).get("p99_s", 0.0)
+    cur_p99 = current.get("paced", {}).get("p99_s", 0.0)
+    if base_p99 > 0.0 and cur_p99 > base_p99 * speed * (
+        1.0 + max_p99_regression
+    ):
+        failures.append(
+            f"{profile}/load: paced p99 {cur_p99 * 1e3:.1f}ms "
+            f"regressed past baseline {base_p99 * 1e3:.1f}ms x "
+            f"{speed:.2f} machine factor + {max_p99_regression:.0%}"
+        )
+    base_qps = baseline.get("sharded", {}).get("achieved_qps", 0.0)
+    cur_qps = current["sharded"]["achieved_qps"]
+    if base_qps > 0.0 and cur_qps < (base_qps / speed) * (
+        1.0 - max_qps_drop
+    ):
+        failures.append(
+            f"{profile}/load: sharded throughput {cur_qps:.1f} qps "
+            f"dropped below baseline {base_qps:.1f} / {speed:.2f} "
+            f"machine factor - {max_qps_drop:.0%}"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Closed-loop load harness for the sharded service "
+        "tier; optionally gated against a committed trajectory."
+    )
+    parser.add_argument(
+        "--profile", choices=list(PROFILES), default="smoke",
+        help="workload scale (default: smoke)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="where to write the load JSON (default: stdout only)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed BENCH_*.json whose matching profile's 'load' "
+        "section to gate against",
+    )
+    parser.add_argument(
+        "--max-p99-regression", type=float, default=0.25,
+        help="allowed relative p99 regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--max-qps-drop", type=float, default=0.25,
+        help="allowed relative throughput drop (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-throughput-ratio", type=float, default=None,
+        help="sharded/single capacity floor (default: per-profile)",
+    )
+    args = parser.parse_args(argv)
+
+    section = measure_load_section(PROFILES[args.profile], args.profile)
+    print(
+        f"[{args.profile}] sharded: "
+        f"{section['sharded']['achieved_qps']} qps "
+        f"({section['sharded']['degraded']} degraded, "
+        f"{section['sharded']['rejected']} rejected) | single: "
+        f"{section['single']['achieved_qps']} qps | ratio "
+        f"{section['throughput_ratio']}x | paced p99 "
+        f"{section['paced']['p99_s'] * 1e3:.1f}ms @ "
+        f"{section['paced']['target_qps']:.0f} qps | byte_identical="
+        f"{section['identity']['byte_identical']}"
+    )
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(section, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline_doc = json.load(fh)
+        base_section = (
+            baseline_doc.get("profiles", {})
+            .get(args.profile, {})
+            .get("load")
+        )
+        if base_section is None:
+            print(
+                f"load section for profile {args.profile!r} missing "
+                f"from {args.baseline}",
+                file=sys.stderr,
+            )
+            return 1
+        failures = compare_load(
+            section,
+            base_section,
+            args.profile,
+            max_p99_regression=args.max_p99_regression,
+            max_qps_drop=args.max_qps_drop,
+            min_throughput_ratio=args.min_throughput_ratio,
+        )
+        if failures:
+            print("LOAD REGRESSION GATE FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"load gate passed vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

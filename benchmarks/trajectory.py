@@ -53,6 +53,11 @@ The comparison fails (exit code 1) when
 * the service layer's result cache stops serving repeated joins
   byte-identically, deflects no traffic, or falls below
   ``--min-cache-speedup`` (default 20×) warm-vs-cold;
+* the sharded service tier stops answering byte-identically to the
+  single-process oracle, loses requests under load, falls below the
+  per-profile sharded/single capacity floor, or its paced p99 / capacity
+  regress past ``--max-p99-regression`` / ``--max-qps-drop`` against
+  the baseline (machine-normalised; see ``benchmarks/load_harness.py``);
 * the cost-based planner misbehaves: ``"auto"`` lands more than
   ``--max-planner-regret`` (default 1.5×) above the best candidate's
   executed cost on a pinned workload trio, the pair estimate leaves
@@ -88,10 +93,17 @@ from repro.joins.plane_sweep import (  # noqa: E402
     plane_sweep_join_reference,
 )
 
+# Sibling script (benchmarks/ is sys.path[0] when run as a script; CI
+# and the docs both invoke `python benchmarks/trajectory.py`).
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from load_harness import compare_load, measure_load_section  # noqa: E402
+
 # v3: adds the "planner" cost-based-planning section
 # v4: adds the "refine_phase" (vectorized cylinder refinement) and
 #     "cold_batch" (shared-memory dataset delivery) sections
-SCHEMA_VERSION = 4
+# v5: adds the "load" sharded-service sustained-load section
+#     (capacity + paced phases from benchmarks/load_harness.py)
+SCHEMA_VERSION = 5
 
 #: The pinned suite: experiment name -> harness entry point.
 SUITE = {
@@ -637,6 +649,15 @@ def run_profile(name: str) -> dict:
         f"within_band={pl['all_within_band']}, "
         f"overhead {pl['overhead']['share']:.2%} of a cold join"
     )
+    out["load"] = measure_load_section(scale, name)
+    ld = out["load"]
+    print(
+        f"[{name}] load: sharded {ld['sharded']['achieved_qps']} qps "
+        f"vs single {ld['single']['achieved_qps']} qps "
+        f"(ratio {ld['throughput_ratio']}x), paced p99 "
+        f"{ld['paced']['p99_s'] * 1e3:.1f}ms, byte_identical="
+        f"{ld['identity']['byte_identical']}"
+    )
     return out
 
 
@@ -669,6 +690,8 @@ def compare_profile(
     max_planner_overhead: float = 0.05,
     min_refine_speedup: float = 3.0,
     min_shm_delivery_speedup: float = 2.0,
+    max_p99_regression: float = 0.25,
+    max_qps_drop: float = 0.25,
 ) -> list[str]:
     """Failures of ``current`` against ``baseline`` (empty = pass)."""
     failures: list[str] = []
@@ -842,6 +865,22 @@ def compare_profile(
                     "(chosen algorithm, estimates, executed candidate "
                     "costs) drifted from the baseline"
                 )
+
+    # Sharded-tier load gate: delegated to the harness's own comparator
+    # (byte identity, capacity-ratio floor, paced p99 and capacity vs
+    # baseline); tolerated as absent in pre-sharding baselines, but the
+    # current run's section is always gated.
+    load = current.get("load")
+    if load is not None:
+        failures.extend(
+            compare_load(
+                load,
+                baseline.get("load", {}),
+                profile,
+                max_p99_regression=max_p99_regression,
+                max_qps_drop=max_qps_drop,
+            )
+        )
     return failures
 
 
@@ -899,6 +938,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="required shared-memory dataset-delivery speedup over "
         "pickling (default 2.0)",
     )
+    parser.add_argument(
+        "--max-p99-regression", type=float, default=0.25,
+        help="allowed relative paced-p99 regression of the sharded "
+        "tier under load (default 0.25)",
+    )
+    parser.add_argument(
+        "--max-qps-drop", type=float, default=0.25,
+        help="allowed relative capacity drop of the sharded tier under "
+        "load (default 0.25)",
+    )
     args = parser.parse_args(argv)
 
     names = list(PROFILES) if args.profile == "all" else [args.profile]
@@ -930,6 +979,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     args.min_cache_speedup, args.max_planner_regret,
                     args.max_planner_overhead, args.min_refine_speedup,
                     args.min_shm_delivery_speedup,
+                    args.max_p99_regression, args.max_qps_drop,
                 )
             )
         if failures:

@@ -1,0 +1,115 @@
+"""Load-harness quickstart: sustained traffic against the sharded tier.
+
+Stands up a :class:`~repro.ShardedQueryService` (the process-sharded
+front-end: catalog, result cache, and range-index store partitioned by
+content fingerprint across worker processes), registers a small corpus,
+and drives it with the closed-loop client model from
+``benchmarks/load_harness.py`` — the same harness the benchmark
+trajectory's ``load`` section and CI's load-smoke gate run at larger
+scale.  Prints achieved throughput, per-operation latency percentiles,
+and the merged per-shard statistics a deployment would scrape, then
+closes with a saturation demo: with every admission slot held, a
+previously answered request degrades to its stale cached answer instead
+of hanging, and a never-answered one is rejected in bounded time.
+
+Run with::
+
+    python examples/load_harness_quickstart.py [n_per_dataset]
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0,
+    str(pathlib.Path(__file__).resolve().parent.parent / "benchmarks"),
+)
+
+from load_harness import run_load  # noqa: E402
+
+from repro import (  # noqa: E402
+    JoinRequest,
+    ShardedQueryService,
+    scaled_space,
+    uniform_dataset,
+)
+
+NAMES = ("ds0", "ds1", "ds2", "ds3")
+
+
+def main(n: int = 400) -> None:
+    space = scaled_space(2 * n)
+    variants = {
+        name: [
+            uniform_dataset(
+                n,
+                seed=90 + 10 * i + version,
+                name=f"{name}v{version}",
+                id_offset=i * 10**9,
+                space=space,
+            )
+            for version in range(2)
+        ]
+        for i, name in enumerate(NAMES)
+    }
+
+    with ShardedQueryService(2, max_inflight_per_shard=16) as service:
+        for name in NAMES:
+            service.register(name, variants[name][0])
+        print(f"registered {len(NAMES)} datasets ({n} boxes each) "
+              f"across {service.shards} process shards")
+
+        result = run_load(
+            service,
+            space,
+            variants,
+            clients=4,
+            requests_per_client=30,
+            target_qps=10_000.0,  # saturating: measures capacity
+        )
+        print(f"\nload run    : {result['requests']} requests from "
+              f"{result['clients']} closed-loop clients in "
+              f"{result['duration_s']:.2f} s")
+        print(f"throughput  : {result['achieved_qps']:.1f} req/s "
+              f"({result['failures']} failures, "
+              f"{result['degraded']} degraded, "
+              f"{result['rejected']} rejected)")
+        for kind, row in result["ops"].items():
+            print(f"  {kind:<7}   : p50 {row['p50_s'] * 1e3:7.2f} ms, "
+                  f"p99 {row['p99_s'] * 1e3:7.2f} ms "
+                  f"over {row['count']} calls")
+
+        stats = service.stats()
+        print(f"\nmerged stats: {stats.requests} joins, "
+              f"{stats.cache_hits} cache hits / "
+              f"{stats.cache_misses} misses "
+              f"(hit rate {stats.cache_hit_rate:.0%})")
+        for shard, row in enumerate(stats.per_shard):
+            print(f"  shard {shard}   : {row['requests']} joins, "
+                  f"{row['cache_size']} cached results")
+
+        # Saturation: hold every admission slot, then submit.  A key
+        # answered before degrades to its stale snapshot; a fresh key
+        # has nothing to fall back on and is rejected, never hung.
+        seen = JoinRequest("ds0", "ds1", "pbsm",
+                           parameters={"resolution": 3})
+        service.submit(seen).raise_for_failure()
+        held: dict = {}
+        for handle in service._shards:
+            held[handle] = 0
+            while handle.gate.try_acquire(0.0):
+                held[handle] += 1
+        try:
+            degraded = service.submit(seen)
+            print(f"\nsaturated   : repeat request served stale "
+                  f"(degraded={degraded.degraded})")
+        finally:
+            for handle, count in held.items():
+                for _ in range(count):
+                    handle.gate.release()
+
+    print("\nsharded tier survived sustained load ✓")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

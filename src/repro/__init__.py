@@ -99,6 +99,7 @@ from repro.joins import (
 from repro.service import (
     ServiceResponse,
     ServiceStats,
+    ShardedQueryService,
     SpatialQueryService,
     dataset_fingerprint,
 )
@@ -109,7 +110,7 @@ from repro.stats import (
 )
 from repro.storage import BufferPool, DiskModel, SimulatedDisk
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -132,6 +133,7 @@ __all__ = [
     "estimate_pairs",
     # service (long-lived front-end: catalog + result cache)
     "SpatialQueryService",
+    "ShardedQueryService",
     "ServiceResponse",
     "ServiceStats",
     "dataset_fingerprint",

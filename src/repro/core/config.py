@@ -123,6 +123,18 @@ ENV_REGISTRY: tuple[EnvVar, ...] = (
         ),
     ),
     EnvVar(
+        name="REPRO_SHARDS",
+        kind="int",
+        default=4,
+        minimum=1,
+        description=(
+            "Default shard count of the sharded service tier "
+            "(ShardedQueryService): worker processes the router "
+            "partitions the catalog, result cache and range indexes "
+            "across by content fingerprint."
+        ),
+    ),
+    EnvVar(
         name="REPRO_SOAK_REQUESTS",
         kind="int",
         default=600,
@@ -261,6 +273,11 @@ def bench_scale() -> float:
 def shm_transport_enabled() -> bool:
     """``REPRO_SHM``: ship batch datasets via shared memory?"""
     return env_bool("REPRO_SHM")
+
+
+def default_shards() -> int:
+    """``REPRO_SHARDS``: sharded-tier worker process count."""
+    return env_int("REPRO_SHARDS")
 
 
 def soak_requests() -> int:

@@ -133,9 +133,12 @@ def _generators() -> dict[str, Callable[..., Dataset]]:
 
 
 def _side_name(side: Dataset | DatasetSpec | SharedDatasetRef) -> str:
-    """Display name of a request side (dataset, spec, or shm ref)."""
+    """Display name of a request side (dataset, spec, name, or shm ref)."""
     if isinstance(side, DatasetSpec):
         return side.name or side.kind
+    if isinstance(side, str):
+        # A service-layer catalog name: it *is* the display name.
+        return side
     return str(side.name)
 
 
@@ -506,6 +509,18 @@ class BatchExecutor:
     seed:
         Batch seed (non-negative) from which per-request seeds are
         derived (see :func:`derive_seed`).
+    persistent:
+        When True the executor keeps one long-lived process pool and
+        one shared-memory publication pool across ``run()`` calls
+        instead of building both per batch: workers stay warm (no
+        fork/import cost per batch) and datasets published once stay
+        attached — the long-lived-shard-worker regime of the service
+        tier.  The owner must call :meth:`close` (or use the executor
+        as a context manager); published segments live until then,
+        bounded by the number of distinct datasets seen.  A batch that
+        hard-crashes a worker still poisons the current pool — the
+        casualties are retried in isolation exactly as in per-batch
+        mode, and the next ``run()`` starts a fresh pool.
     """
 
     def __init__(
@@ -515,6 +530,7 @@ class BatchExecutor:
         disk_model: DiskModel | None = None,
         cost_model: CostModel | None = None,
         seed: int = 0,
+        persistent: bool = False,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -527,6 +543,9 @@ class BatchExecutor:
         self.disk_model = disk_model
         self.cost_model = cost_model or CostModel()
         self.seed = seed
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+        self._pages: SharedDatasetPool | None = None
 
     # ------------------------------------------------------------------
     # Batch mode
@@ -581,65 +600,105 @@ class BatchExecutor:
         Concrete datasets are published to shared memory once per
         distinct content (see :mod:`repro.storage.shm`) and shipped as
         tiny refs; the segments are released only after every worker
-        has finished, so attaches can never race the unlink.
+        has finished, so attaches can never race the unlink.  In
+        persistent mode both the pool and the publication pages
+        outlive the batch (see the class docstring).
         """
+        if self.persistent:
+            if self._pages is None:
+                self._pages = SharedDatasetPool()
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            outcomes, broken = self._dispatch(
+                requests, self._pages, self._pool
+            )
+            if broken:
+                # A hard crash poisoned the long-lived pool: tear it
+                # down now and let the next run() start fresh.  The
+                # publication pages are unaffected (segments belong to
+                # this process, not the dead workers).
+                pool, self._pool = self._pool, None
+                pool.shutdown(wait=True)
+            outcomes.extend(self._solo_retries(broken))
+            return outcomes
         with SharedDatasetPool() as pages:
-            return self._run_pooled_shared(requests, pages)
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                outcomes, broken = self._dispatch(requests, pages, pool)
+            outcomes.extend(self._solo_retries(broken))
+            return outcomes
 
-    def _run_pooled_shared(
-        self, requests: list[JoinRequest], pages: SharedDatasetPool
-    ) -> list[RequestOutcome]:
+    def _dispatch(
+        self,
+        requests: list[JoinRequest],
+        pages: SharedDatasetPool,
+        pool: ProcessPoolExecutor,
+    ) -> tuple[list[RequestOutcome], list[tuple[int, JoinRequest]]]:
+        """Submit a batch to ``pool``; returns (outcomes, casualties).
+
+        Casualties are requests whose future reported
+        ``BrokenProcessPool`` — either the crash itself or collateral
+        damage of a pool-mate's hard death; the caller retries them in
+        isolation via :meth:`_solo_retries`.
+        """
         outcomes: list[RequestOutcome] = []
         broken: list[tuple[int, JoinRequest]] = []
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures: dict[
-                Future[RequestOutcome], tuple[int, JoinRequest]
-            ] = {}
-            for i, req in enumerate(requests):
+        futures: dict[
+            Future[RequestOutcome], tuple[int, JoinRequest]
+        ] = {}
+        for i, req in enumerate(requests):
+            try:
+                future = pool.submit(
+                    _execute_request,
+                    i,
+                    self._with_shared_pages(req, pages),
+                    self.seed,
+                    self.disk_model,
+                    self.cost_model,
+                )
+            except BrokenProcessPool:
+                # An earlier request already killed its worker and
+                # poisoned the pool before this one got submitted;
+                # queue it for the isolated retry below.
+                broken.append((i, req))
+            else:
+                futures[future] = (i, req)
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                i, req = futures[future]
                 try:
-                    future = pool.submit(
-                        _execute_request,
-                        i,
-                        self._with_shared_pages(req, pages),
-                        self.seed,
-                        self.disk_model,
-                        self.cost_model,
-                    )
+                    outcomes.append(future.result())
                 except BrokenProcessPool:
-                    # An earlier request already killed its worker and
-                    # poisoned the pool before this one got submitted;
-                    # queue it for the isolated retry below.
+                    # A hard worker death (segfault, OOM kill)
+                    # poisons the whole pool: every unfinished
+                    # future reports BrokenProcessPool, healthy
+                    # requests included.  Collect them for an
+                    # isolated retry below.
                     broken.append((i, req))
-                else:
-                    futures[future] = (i, req)
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i, req = futures[future]
-                    try:
-                        outcomes.append(future.result())
-                    except BrokenProcessPool:
-                        # A hard worker death (segfault, OOM kill)
-                        # poisons the whole pool: every unfinished
-                        # future reports BrokenProcessPool, healthy
-                        # requests included.  Collect them for an
-                        # isolated retry below.
-                        broken.append((i, req))
-                    except Exception as exc:
-                        outcomes.append(
-                            RequestOutcome(
-                                index=i,
-                                label=req.describe(),
-                                error=str(exc),
-                                error_type=type(exc).__name__,
-                            )
+                except Exception as exc:
+                    outcomes.append(
+                        RequestOutcome(
+                            index=i,
+                            label=req.describe(),
+                            error=str(exc),
+                            error_type=type(exc).__name__,
                         )
-        # Retry each pool-breakage casualty in its own single-worker
-        # pool: requests that were merely collateral damage succeed,
-        # while the genuinely crashing request breaks only its private
-        # pool and fails alone — per-request isolation holds even for
-        # crashes no worker-side try/except can catch.
+                    )
+        return outcomes, broken
+
+    def _solo_retries(
+        self, broken: list[tuple[int, JoinRequest]]
+    ) -> list[RequestOutcome]:
+        """Retry each pool-breakage casualty in its own single-worker
+        pool: requests that were merely collateral damage succeed,
+        while the genuinely crashing request breaks only its private
+        pool and fails alone — per-request isolation holds even for
+        crashes no worker-side try/except can catch.
+        """
+        outcomes: list[RequestOutcome] = []
         for i, req in broken:
             try:
                 with ProcessPoolExecutor(max_workers=1) as solo:
@@ -663,6 +722,30 @@ class BatchExecutor:
                     )
                 )
         return outcomes
+
+    # ------------------------------------------------------------------
+    # Persistent-mode lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent pool and published segments (idempotent).
+
+        A no-op for per-batch executors, which own nothing between
+        ``run()`` calls.
+        """
+        pool, self._pool = self._pool, None
+        pages, self._pages = self._pages, None
+        try:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        finally:
+            if pages is not None:
+                pages.close()
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Partition-parallel mode

@@ -24,17 +24,26 @@ fresh workspaces, this package keeps state *across* requests::
   of finished reports with hit/miss/eviction/invalidation counters;
 * :mod:`~repro.service.service` — :class:`SpatialQueryService`, the
   thread-safe request front-end;
-* :mod:`~repro.service.stats` — :class:`ServiceStats` snapshots.
+* :mod:`~repro.service.stats` — :class:`ServiceStats` snapshots;
+* :mod:`~repro.service.sharding` / :mod:`~repro.service.wire` /
+  :mod:`~repro.service.sharded` — the process-parallel tier:
+  consistent-hash routing over content fingerprints, the router↔shard
+  command protocol, and :class:`ShardedQueryService` itself.
 """
 
 from repro.service.cache import ResultCache
 from repro.service.catalog import CatalogEntry, DatasetCatalog
 from repro.service.fingerprint import dataset_fingerprint, request_cache_key
 from repro.service.service import ServiceResponse, SpatialQueryService
+from repro.service.sharded import ShardSaturated, ShardedQueryService
+from repro.service.sharding import HashRing
 from repro.service.stats import ServiceStats
 
 __all__ = [
     "SpatialQueryService",
+    "ShardedQueryService",
+    "ShardSaturated",
+    "HashRing",
     "ServiceResponse",
     "ServiceStats",
     "DatasetCatalog",

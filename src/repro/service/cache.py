@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.engine.report import RunReport
+from repro.service.fingerprint import CacheKey
 
 
 class ResultCache:

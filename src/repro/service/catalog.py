@@ -54,6 +54,19 @@ class DatasetCatalog:
         #: Fingerprint -> sketch: one set of statistics per distinct
         #: content, shared by every alias bound to it.
         self._sketches: dict[str, DatasetSketch] = {}
+        #: Invalidation epoch: bumped by every mutation that can
+        #: *unbind* a fingerprint (a rebind to changed content, an
+        #: unregister).  Work that resolved a name, ran outside the
+        #: service lock, and wants to fill a cache afterwards compares
+        #: epochs: unchanged means no invalidation could have raced
+        #: it, changed means the fill must re-validate its
+        #: fingerprints against ``names_bound_to`` first.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Current invalidation epoch (see ``__init__``)."""
+        return self._generation
 
     def register(self, name: str, dataset: Dataset) -> CatalogEntry:
         """Bind ``name`` to ``dataset``; returns the current entry.
@@ -86,6 +99,9 @@ class DatasetCatalog:
         if fingerprint not in self._sketches:
             self._sketches[fingerprint] = build_sketch(dataset)
         if old is not None:
+            # A rebind to changed content may have unbound the old
+            # fingerprint: in-flight fills must re-validate.
+            self._generation += 1
             self._prune_sketch(old.fingerprint)
         return entry
 
@@ -126,6 +142,7 @@ class DatasetCatalog:
         """
         entry = self.resolve(name)
         del self._entries[name]
+        self._generation += 1
         self._prune_sketch(entry.fingerprint)
         return entry
 

@@ -53,7 +53,6 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
-from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -66,9 +65,8 @@ from repro.engine.planner import PlanReport, plan_join_sketched
 from repro.engine.report import RunReport
 from repro.engine.workspace import SpatialWorkspace
 from repro.geometry.box import Box
-from repro.geometry.slots import SlotPickleMixin
 from repro.joins.base import CostModel, Dataset
-from repro.metrics import latency_summary
+from repro.metrics import LatencyRecord
 from repro.service.catalog import CatalogEntry, DatasetCatalog
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import (
@@ -81,40 +79,6 @@ from repro.storage.disk import DiskModel
 
 #: Latency bucket for range queries in ``latency_by_algorithm``.
 RANGE_QUERY_LATENCY_KEY = "range_query"
-
-
-class _LatencyRecord(SlotPickleMixin):
-    """Latency accounting that stays O(1) per request forever.
-
-    ``count``/``total`` accumulate over the service's whole lifetime
-    (exact count and mean); the percentile sample is a bounded window
-    of the most recent observations, so a service that has absorbed
-    millions of requests neither grows without bound nor re-sorts its
-    entire history on every :meth:`SpatialQueryService.stats` call.
-    """
-
-    __slots__ = ("count", "total", "recent")
-
-    #: Percentile window: recent enough to reflect current behaviour,
-    #: large enough that p99 rests on ~10 samples.
-    WINDOW = 1024
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.recent: deque[float] = deque(maxlen=self.WINDOW)
-
-    def add(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        self.recent.append(seconds)
-
-    def summary(self) -> dict[str, float]:
-        """Lifetime count/mean plus windowed p50/p90/p99."""
-        row = latency_summary(self.recent)
-        row["count"] = float(self.count)
-        row["mean_s"] = self.total / self.count if self.count else 0.0
-        return row
 
 
 @dataclass
@@ -134,6 +98,12 @@ class ServiceResponse:
     wall_seconds: float = 0.0
     error: str | None = None
     error_type: str | None = None
+    #: True when the sharded tier answered from its stale snapshot
+    #: because the owning shard was saturated (single-process services
+    #: never degrade).
+    degraded: bool = False
+    #: Shard that served the request, when a sharded tier routed it.
+    shard: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -203,7 +173,13 @@ class SpatialQueryService:
         self._requests = 0
         self._range_requests = 0
         self._failures = 0
-        self._latencies: dict[str, _LatencyRecord] = {}
+        #: Fills skipped because a rebind/unregister unbound a
+        #: name-resolved fingerprint while its miss was in flight.
+        self._stale_fill_skips = 0
+        #: Range-query indexes dropped because the queried name was
+        #: unbound while the index build was in flight.
+        self._stale_index_drops = 0
+        self._latencies: dict[str, LatencyRecord] = {}
         # Estimator accuracy: predicted vs actual work of every miss
         # the statistics layer planned (``algorithm="auto"``).
         self._estimator_predictions = 0
@@ -249,6 +225,35 @@ class SpatialQueryService:
                     with self._query_lock:
                         self._queries.forget(old.dataset)
             return entry
+
+    def unregister(self, name: str) -> CatalogEntry:
+        """Remove ``name`` from the catalog; returns the dropped entry.
+
+        Symmetric with :meth:`register`'s rebind path: the entry's
+        cached results and range-query index are invalidated unless
+        another name still serves the same content.  Raises
+        ``KeyError`` for unknown names.
+        """
+        with self._lock:
+            entry = self._catalog.unregister(name)
+            if not self._catalog.names_bound_to(entry.fingerprint):
+                self._results.invalidate_fingerprint(entry.fingerprint)
+                with self._query_lock:
+                    self._queries.forget(entry.dataset)
+            return entry
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop cached results computed from this content fingerprint.
+
+        Returns the number of entries dropped.  The single-process
+        service invalidates automatically on rebind/unregister; this
+        explicit hook exists for the sharded tier, where joins are
+        routed by *pair* — a shard's result cache can hold entries for
+        content it never registered, so the router broadcasts the
+        invalidation and each shard executes it locally.
+        """
+        with self._lock:
+            return self._results.invalidate_fingerprint(fingerprint)
 
     # ------------------------------------------------------------------
     # Planning (from catalog sketches — no raw data access)
@@ -360,11 +365,12 @@ class SpatialQueryService:
         responses: list[ServiceResponse | None] = [None] * len(requests)
         pending: dict[CacheKey, list[int]] = {}
         to_run: dict[CacheKey, JoinRequest] = {}
+        guards: dict[CacheKey, tuple[str, ...]] = {}
         with self._lock:
             # Phase 1: resolve and key everything, mutating nothing —
             # a KeyError/TypeError here must not break the
             # hits + misses == requests invariant.
-            plans: list[tuple[tuple, JoinRequest]] = []
+            plans: list[tuple[tuple, JoinRequest, tuple[str, ...]]] = []
             for request, (fp_a, fp_b) in zip(requests, prehashed):
                 a, fingerprint_a = self._resolve(request.a, fp_a)
                 b, fingerprint_b = self._resolve(request.b, fp_b)
@@ -376,9 +382,25 @@ class SpatialQueryService:
                     request.parameters,
                     request.within,
                 )
-                plans.append((key, dataclasses.replace(request, a=a, b=b)))
+                # Fingerprints that came from *catalog* resolution: a
+                # rebind while the miss is in flight can unbind these,
+                # and a fill keyed on an unbound fingerprint would
+                # resurrect an invalidated entry.  Concrete-dataset
+                # sides are caller-managed and always fillable.
+                named = tuple(
+                    fp
+                    for side, fp in (
+                        (request.a, fingerprint_a),
+                        (request.b, fingerprint_b),
+                    )
+                    if isinstance(side, str)
+                )
+                plans.append(
+                    (key, dataclasses.replace(request, a=a, b=b), named)
+                )
+            generation = self._catalog.generation
             # Phase 2: count and probe.
-            for pos, (key, concrete) in enumerate(plans):
+            for pos, (key, concrete, named) in enumerate(plans):
                 probe_start = time.perf_counter()
                 self._requests += 1
                 report = self._results.get(key)
@@ -395,8 +417,9 @@ class SpatialQueryService:
                 else:
                     pending.setdefault(key, []).append(pos)
                     to_run.setdefault(key, concrete)
+                    guards.setdefault(key, named)
         if to_run:
-            self._execute_misses(to_run, pending, responses)
+            self._execute_misses(to_run, pending, responses, guards, generation)
         return responses  # type: ignore[return-value]
 
     def _execute_misses(
@@ -404,14 +427,41 @@ class SpatialQueryService:
         to_run: dict[CacheKey, JoinRequest],
         pending: dict[CacheKey, list[int]],
         responses: list[ServiceResponse | None],
+        guards: dict[CacheKey, tuple[str, ...]],
+        generation: int,
     ) -> None:
-        """Run unique cache misses through the executor, fill the cache."""
+        """Run unique cache misses through the executor, fill the cache.
+
+        ``generation`` is the catalog's invalidation epoch captured at
+        resolve time; ``guards`` maps each key to the fingerprints its
+        request resolved *through the catalog*.  The executor runs
+        outside the lock, so a ``register`` rebind (or ``unregister``)
+        can invalidate one of those fingerprints while the miss is in
+        flight — filling the cache anyway would resurrect an entry no
+        name serves (a slot leak the invalidation counters never see).
+        An unchanged epoch proves no invalidation raced us (the cheap,
+        overwhelmingly common case); otherwise each fill re-validates
+        its guarded fingerprints against ``names_bound_to`` and is
+        skipped when any came unbound.  The *response* is still served
+        (correct at resolve time — the service linearises requests at
+        name resolution); only the cache fill is suppressed.
+        """
         keys = list(to_run)
         batch = self._executor.run([to_run[key] for key in keys])
         with self._lock:
             for key, outcome in zip(keys, batch.outcomes):
                 if outcome.report is not None:
-                    self._results.put(key, outcome.report)
+                    fillable = (
+                        self._catalog.generation == generation
+                        or all(
+                            self._catalog.names_bound_to(fp)
+                            for fp in guards.get(key, ())
+                        )
+                    )
+                    if fillable:
+                        self._results.put(key, outcome.report)
+                    else:
+                        self._stale_fill_skips += 1
                     self._record_latency(
                         outcome.report.algorithm, outcome.wall_seconds
                     )
@@ -468,9 +518,13 @@ class SpatialQueryService:
         across requests).  Accepts a catalog name or a concrete
         dataset.
         """
+        guard_fp: str | None = None
         with self._lock:
+            generation = self._catalog.generation
             if isinstance(dataset, str):
-                dataset = self._catalog.resolve(dataset).dataset
+                entry = self._catalog.resolve(dataset)
+                dataset = entry.dataset
+                guard_fp = entry.fingerprint
             self._range_requests += 1
         # The query workspace has its own lock: a cold index build
         # serialises only other range queries, not join cache hits.
@@ -482,13 +536,42 @@ class SpatialQueryService:
         wall = time.perf_counter() - start
         with self._lock:
             self._record_latency(RANGE_QUERY_LATENCY_KEY, wall)
+            # Mirror image of the fill-time epoch check: if the name we
+            # resolved was unbound while the index build was in flight,
+            # register's forget() has already run and missed the index
+            # we just built — dropping it here closes the leak.  The
+            # hits still go out as computed: they were correct at
+            # resolve time.  Lock order (_lock then _query_lock)
+            # matches register's.
+            if (
+                guard_fp is not None
+                and self._catalog.generation != generation
+                and not self._catalog.names_bound_to(guard_fp)
+            ):
+                self._stale_index_drops += 1
+                with self._query_lock:
+                    self._queries.forget(dataset)
         return hits
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def _record_latency(self, algorithm: str, seconds: float) -> None:
-        self._latencies.setdefault(algorithm, _LatencyRecord()).add(seconds)
+        self._latencies.setdefault(algorithm, LatencyRecord()).add(seconds)
+
+    def latency_records(self) -> dict[str, LatencyRecord]:
+        """Independent copies of the per-algorithm latency records.
+
+        The sharded tier ships these across the wire and merges them
+        (:meth:`repro.metrics.LatencyRecord.merge`) into aggregate
+        service statistics; copies are returned so the caller can do
+        that without racing this service's own accounting.
+        """
+        with self._lock:
+            return {
+                name: record.copy()
+                for name, record in self._latencies.items()
+            }
 
     def _record_estimates(self, report: RunReport) -> None:
         """Fold one executed miss into the estimator-accuracy counters.
@@ -524,6 +607,8 @@ class SpatialQueryService:
                 cache_invalidations=self._results.invalidations,
                 cache_size=len(self._results),
                 cache_max_entries=self._results.max_entries,
+                cache_stale_fill_skips=self._stale_fill_skips,
+                stale_index_drops=self._stale_index_drops,
                 catalog_size=len(self._catalog),
                 latency_by_algorithm={
                     name: record.summary()

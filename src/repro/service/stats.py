@@ -15,6 +15,7 @@ safe on empty samples — a freshly started service reports zeros, not
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 
@@ -46,6 +47,23 @@ class ServiceStats:
     cache_max_entries: int | None
     #: Names currently registered in the dataset catalog.
     catalog_size: int
+    #: Cache fills suppressed because a rebind/unregister unbound a
+    #: name-resolved fingerprint while its miss was in flight (the
+    #: in-flight-fill race fix; the response was still served).
+    cache_stale_fill_skips: int = 0
+    #: Range-query indexes dropped because the queried name was
+    #: unbound while the index build was in flight.
+    stale_index_drops: int = 0
+    #: Sharded tier only: requests answered from the router's stale
+    #: snapshot because the owning shard was saturated.
+    degraded_responses: int = 0
+    #: Sharded tier only: submissions rejected at admission (client
+    #: over quota, or the owning shard saturated past the backpressure
+    #: timeout with no stale answer to degrade to).
+    rejected_requests: int = 0
+    #: Sharded tier only: per-shard snapshot dicts (``as_dict`` rows),
+    #: in shard order.  Empty for single-process services.
+    per_shard: tuple[dict[str, object], ...] = ()
     #: Per-algorithm latency summaries (count/mean/p50/p90/p99 seconds),
     #: over service-side request walls: cache hits contribute their
     #: (near-zero) lookup latency, misses their full execution latency,
@@ -97,6 +115,69 @@ class ServiceStats:
             return 0.0
         return (self.requests + self.range_requests) / self.uptime_seconds
 
+    @classmethod
+    def merged(
+        cls,
+        parts: Sequence["ServiceStats"],
+        *,
+        uptime_seconds: float,
+        latency_by_algorithm: dict[str, dict[str, float]] | None = None,
+        degraded_responses: int = 0,
+        rejected_requests: int = 0,
+        extra_catalog_size: int | None = None,
+    ) -> "ServiceStats":
+        """One aggregate snapshot over per-shard snapshots.
+
+        Counters add exactly (shards partition the key space, so their
+        counters are disjoint); the cache bound is the sum of the
+        per-shard bounds (unbounded if any shard is).  The latency
+        summaries cannot be aggregated from per-shard percentiles —
+        the sharded service merges the raw
+        :class:`~repro.metrics.LatencyRecord` windows instead and
+        passes the result in; ``None`` falls back to an empty mapping.
+        ``extra_catalog_size`` overrides the summed per-shard catalog
+        sizes with the router's own name count (the router's map is
+        authoritative; shard catalogs hold only their owned slice).
+        """
+        bounds = [p.cache_max_entries for p in parts]
+        merged_bound: int | None
+        if not bounds or any(b is None for b in bounds):
+            merged_bound = None
+        else:
+            merged_bound = sum(b for b in bounds if b is not None)
+        return cls(
+            uptime_seconds=uptime_seconds,
+            requests=sum(p.requests for p in parts),
+            range_requests=sum(p.range_requests for p in parts),
+            failures=sum(p.failures for p in parts),
+            cache_hits=sum(p.cache_hits for p in parts),
+            cache_misses=sum(p.cache_misses for p in parts),
+            cache_evictions=sum(p.cache_evictions for p in parts),
+            cache_invalidations=sum(p.cache_invalidations for p in parts),
+            cache_size=sum(p.cache_size for p in parts),
+            cache_max_entries=merged_bound,
+            cache_stale_fill_skips=sum(
+                p.cache_stale_fill_skips for p in parts
+            ),
+            stale_index_drops=sum(p.stale_index_drops for p in parts),
+            degraded_responses=degraded_responses,
+            rejected_requests=rejected_requests,
+            catalog_size=(
+                extra_catalog_size
+                if extra_catalog_size is not None
+                else sum(p.catalog_size for p in parts)
+            ),
+            latency_by_algorithm=dict(latency_by_algorithm or {}),
+            estimator_predictions=sum(
+                p.estimator_predictions for p in parts
+            ),
+            predicted_pairs=sum(p.predicted_pairs for p in parts),
+            actual_pairs=sum(p.actual_pairs for p in parts),
+            predicted_tests=sum(p.predicted_tests for p in parts),
+            actual_tests=sum(p.actual_tests for p in parts),
+            per_shard=tuple(p.as_dict() for p in parts),
+        )
+
     def as_dict(self) -> dict[str, object]:
         """Flat reporting view (JSON-friendly)."""
         return {
@@ -112,11 +193,16 @@ class ServiceStats:
             "cache_invalidations": self.cache_invalidations,
             "cache_size": self.cache_size,
             "cache_max_entries": self.cache_max_entries,
+            "cache_stale_fill_skips": self.cache_stale_fill_skips,
+            "stale_index_drops": self.stale_index_drops,
+            "degraded_responses": self.degraded_responses,
+            "rejected_requests": self.rejected_requests,
             "catalog_size": self.catalog_size,
             "latency_by_algorithm": {
                 name: {k: round(v, 6) for k, v in row.items()}
                 for name, row in self.latency_by_algorithm.items()
             },
+            "per_shard": list(self.per_shard),
             "estimator": {
                 "predictions": self.estimator_predictions,
                 "predicted_pairs": round(self.predicted_pairs, 1),

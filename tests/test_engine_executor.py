@@ -385,3 +385,64 @@ class TestDegenerateBatchReports:
         row = percentiles["TRANSFORMERS"]
         assert row["count"] == 1
         assert 0.0 < row["p50_s"] <= row["p99_s"]
+
+
+class TestPersistentMode:
+    """The long-lived-shard-worker regime: one pool, one publication
+    pool, reused across run() calls until close()."""
+
+    def test_pool_and_pages_survive_across_batches(self):
+        requests = _mixed_requests(4)
+        with BatchExecutor(max_workers=2, seed=5, persistent=True) as ex:
+            first = ex.run(requests)
+            pool, pages = ex._pool, ex._pages
+            assert pool is not None and pages is not None
+            second = ex.run(requests)
+            # Same pool object, same publication pool: nothing was
+            # rebuilt between batches.
+            assert ex._pool is pool and ex._pages is pages
+            first.raise_failures()
+            second.raise_failures()
+            for s, p in zip(first.reports, second.reports):
+                assert s.pair_set() == p.pair_set()
+        # Context exit closed both.
+        assert ex._pool is None and ex._pages is None
+
+    def test_matches_per_batch_mode(self):
+        requests = _mixed_requests(6)
+        baseline = BatchExecutor(max_workers=2, seed=7).run(requests)
+        with BatchExecutor(max_workers=2, seed=7, persistent=True) as ex:
+            persistent = ex.run(requests)
+        baseline.raise_failures()
+        persistent.raise_failures()
+        for s, p in zip(baseline.reports, persistent.reports):
+            assert s.algorithm == p.algorithm
+            assert s.pair_set() == p.pair_set()
+
+    def test_hard_crash_poisons_pool_but_not_the_executor(self):
+        a, b = dataset_pair("uniform", 80, 80, seed=21)
+        with BatchExecutor(max_workers=2, persistent=True) as ex:
+            batch = ex.run(
+                [
+                    JoinRequest(a, b, HardCrashJoin(), label="boom"),
+                    JoinRequest(a, b, "transformers", label="fine"),
+                ]
+            )
+            # The crash fails alone; the healthy request survives via
+            # the isolated retry.
+            by_label = {o.label: o for o in batch.outcomes}
+            assert by_label["boom"].error_type
+            assert by_label["fine"].report is not None
+            # The poisoned pool was torn down; the next batch builds a
+            # fresh one and works.
+            assert ex._pool is None
+            again = ex.run([JoinRequest(a, b, "transformers")])
+            again.raise_failures()
+            assert ex._pool is not None
+
+    def test_close_is_idempotent_and_noop_per_batch(self):
+        ex = BatchExecutor(max_workers=2, persistent=True)
+        ex.close()
+        ex.close()
+        per_batch = BatchExecutor(max_workers=2)
+        per_batch.close()  # owns nothing between batches: no-op

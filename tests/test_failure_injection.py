@@ -4,17 +4,28 @@ A join that silently skips a corrupt page would return a *plausible but
 wrong* result set — the worst possible failure mode for a filter step
 feeding scientific analysis.  Every algorithm is required to raise on a
 page whose payload is not what its index says it should be.
+
+The sharded tier adds process-level failure modes on top: a shard
+worker killed mid-batch (commands in flight must be retried on the
+respawned worker, without disturbing the other shards), and a shard
+saturated past its admission bound (the router must degrade to its
+stale snapshot, or reject — never hang, never answer wrongly).
 """
+
+import time
 
 import pytest
 
 from repro.core import TransformersJoin
+from repro.datagen import scaled_space, uniform_dataset
+from repro.engine import JoinRequest
 from repro.joins import (
     GipsyJoin,
     PBSMJoin,
     SSSJJoin,
     SynchronizedRTreeJoin,
 )
+from repro.service import ShardedQueryService, SpatialQueryService
 
 from tests.conftest import dataset_pair, make_disk
 
@@ -105,3 +116,124 @@ class TestCorruptIndexStructures:
         disk.write(tree.root_page, 12345)
         with pytest.raises(TypeError):
             tree.read_node(BufferPool(disk, 8), tree.root_page)
+
+
+@pytest.fixture(scope="module")
+def shard_corpus():
+    space = scaled_space(500)
+    return space, {
+        name: uniform_dataset(
+            120,
+            seed=400 + i,
+            name=name.upper(),
+            id_offset=i * 10**9,
+            space=space,
+        )
+        for i, name in enumerate(("a", "b", "c"))
+    }
+
+
+class TestShardWorkerCrash:
+    def test_mid_batch_crash_retries_only_on_the_dead_shard(
+        self, shard_corpus
+    ):
+        """Kill one worker with a batch in flight across both shards.
+
+        Every request of the batch must still complete with a correct
+        report (the dead shard's in-flight commands are resent to the
+        respawned worker), and the surviving shard must show zero
+        respawns — a crash is strictly shard-local.
+        """
+        _, corpus = shard_corpus
+        oracle = SpatialQueryService()
+        for name, dataset in corpus.items():
+            oracle.register(name, dataset)
+        pairs = [("a", "b"), ("a", "c"), ("b", "c")]
+        requests = [JoinRequest(*pair, "pbsm") for pair in pairs]
+        expected = {
+            pair: oracle.submit(request).report.result.pairs.tobytes()
+            for pair, request in zip(pairs, requests)
+        }
+        with ShardedQueryService(
+            2, max_inflight_per_shard=16
+        ) as service:
+            for name, dataset in corpus.items():
+                service.register(name, dataset)
+            victim = service.submit(requests[0]).shard
+            futures = [
+                service.submit_async(request) for request in requests
+            ]
+            service.inject_crash(victim)
+            responses = [future.result() for future in futures]
+            for pair, response in zip(pairs, responses):
+                response.raise_for_failure()
+                assert (
+                    response.report.result.pairs.tobytes()
+                    == expected[pair]
+                )
+            # The worker drains serially: batch replies may all land
+            # before the crash command is even executed, so the
+            # respawn completes asynchronously — wait it out.
+            deadline = time.monotonic() + 10.0
+            while (
+                service.shard_respawns()[victim] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            respawns = service.shard_respawns()
+            assert respawns[victim] >= 1
+            assert all(
+                count == 0
+                for shard, count in enumerate(respawns)
+                if shard != victim
+            )
+            # Registrations were replayed: post-crash traffic still
+            # answers byte-identically.
+            after = service.submit(requests[0]).raise_for_failure()
+            assert (
+                after.report.result.pairs.tobytes()
+                == expected[pairs[0]]
+            )
+
+
+class TestShardSaturation:
+    def test_saturated_shard_degrades_then_recovers(self, shard_corpus):
+        """Admission full: serve the stale snapshot, never hang.
+
+        Inline shards make saturation deterministic: occupying every
+        admission slot by hand models workers that stopped draining.
+        """
+        _, corpus = shard_corpus
+        with ShardedQueryService(
+            2,
+            inline=True,
+            max_inflight_per_shard=1,
+            queue_timeout_s=0.05,
+        ) as service:
+            for name, dataset in corpus.items():
+                service.register(name, dataset)
+            request = JoinRequest("a", "b", "pbsm")
+            fresh = service.submit(request).raise_for_failure()
+            for handle in service._shards:
+                assert handle.gate.try_acquire(0.0)
+            try:
+                degraded = service.submit(request)
+                # A key never answered before has nothing to degrade
+                # to: bounded-time rejection, not a hang.
+                rejected = service.submit(JoinRequest("a", "c", "pbsm"))
+            finally:
+                for handle in service._shards:
+                    handle.gate.release()
+            assert degraded.degraded
+            assert (
+                degraded.report.result.pairs.tobytes()
+                == fresh.report.result.pairs.tobytes()
+            )
+            assert rejected.error_type == "ShardSaturated"
+            # Slots freed: both requests now execute for real.
+            assert not service.submit(
+                JoinRequest("a", "c", "pbsm")
+            ).degraded
+            stats = service.stats()
+            assert stats.degraded_responses == 1
+            assert stats.rejected_requests == 1

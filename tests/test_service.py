@@ -301,14 +301,14 @@ class TestEvictionAndStats:
     def test_latency_records_stay_bounded(self):
         """Lifetime count/mean are exact; the percentile sample is a
         bounded window, so memory stays O(1) per algorithm forever."""
-        from repro.service.service import _LatencyRecord
+        from repro.metrics import LatencyRecord
 
-        record = _LatencyRecord()
-        n = _LatencyRecord.WINDOW + 500
+        record = LatencyRecord()
+        n = LatencyRecord.WINDOW + 500
         for i in range(n):
             record.add(1.0)
         assert record.count == n
-        assert len(record.recent) == _LatencyRecord.WINDOW
+        assert len(record.recent) == LatencyRecord.WINDOW
         row = record.summary()
         assert row["count"] == float(n)
         assert row["mean_s"] == pytest.approx(1.0)

@@ -132,3 +132,63 @@ def test_soak_latency_percentiles_reflect_cache_split(service):
         assert 0.0 <= row["p50_s"] <= row["p90_s"] <= row["p99_s"]
         assert row["mean_s"] > 0.0
     assert stats.throughput_rps > 0.0
+
+
+def test_soak_sharded_tier_stays_coherent_under_rebind_traffic():
+    """Sustained mixed traffic against the sharded tier, with rebinds.
+
+    Inline shards keep the schedule deterministic; the properties are
+    the sharded analogues of the single-process soak: per-shard cache
+    bounds hold, counters add up across shards, rebinds never wedge a
+    shard, and no request fails.
+    """
+    from repro.service import ShardedQueryService
+
+    space = scaled_space(240)
+    requests_total = max(60, soak_requests() // 4)
+    variants = {
+        name: [
+            uniform_dataset(
+                60,
+                seed=500 + i * 10 + version,
+                name=name,
+                id_offset=i * 10**9,
+                space=space,
+            )
+            for version in range(2)
+        ]
+        for i, name in enumerate(NAMES)
+    }
+    rng = random.Random(777)
+    rebinds = 0
+    with ShardedQueryService(
+        3, inline=True, max_cached_results=CACHE_BOUND
+    ) as svc:
+        for name in NAMES:
+            svc.register(name, variants[name][0])
+        pairs = [(a, b) for a in NAMES for b in NAMES if a < b]
+        for i in range(requests_total):
+            name_a, name_b = rng.choice(pairs)
+            response = svc.submit(
+                JoinRequest(name_a, name_b, rng.choice(ALGORITHMS))
+            )
+            response.raise_for_failure()
+            if i % 25 == 24:
+                name = rng.choice(NAMES)
+                svc.register(name, rng.choice(variants[name]))
+                rebinds += 1
+            if i % 40 == 0:
+                svc.range_query(rng.choice(NAMES), space)
+        stats = svc.stats()
+        assert rebinds > 0
+        assert stats.requests == requests_total
+        assert stats.cache_hits + stats.cache_misses == stats.requests
+        assert stats.failures == 0
+        assert stats.rejected_requests == 0
+        assert stats.catalog_size == len(NAMES)
+        assert len(stats.per_shard) == 3
+        for row in stats.per_shard:
+            assert int(row["cache_size"]) <= CACHE_BOUND
+        assert sum(
+            int(row["requests"]) for row in stats.per_shard
+        ) == requests_total
