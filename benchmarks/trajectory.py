@@ -58,6 +58,13 @@ The comparison fails (exit code 1) when
   per-profile sharded/single capacity floor, or its paced p99 / capacity
   regress past ``--max-p99-regression`` / ``--max-qps-drop`` against
   the baseline (machine-normalised; see ``benchmarks/load_harness.py``);
+* the streaming tier stops being exact or stops being worth it: a
+  delta-patched pair set diverges (byte-level) from the cold
+  recompute, the incremental sketch diverges from a rebuild, the
+  service's ``apply_delta`` fails to patch its cached entry, or the
+  delta-patch speedup over a cold re-join falls below
+  ``--min-delta-patch-speedup`` (default 5×) at a ≤ 5 % delta
+  fraction;
 * the cost-based planner misbehaves: ``"auto"`` lands more than
   ``--max-planner-regret`` (default 1.5×) above the best candidate's
   executed cost on a pinned workload trio, the pair estimate leaves
@@ -103,7 +110,9 @@ from load_harness import compare_load, measure_load_section  # noqa: E402
 #     "cold_batch" (shared-memory dataset delivery) sections
 # v5: adds the "load" sharded-service sustained-load section
 #     (capacity + paced phases from benchmarks/load_harness.py)
-SCHEMA_VERSION = 5
+# v6: adds the "streaming" section (delta-patch speedup over cold
+#     re-joins, incremental sketch maintenance, byte-identity gates)
+SCHEMA_VERSION = 6
 
 #: The pinned suite: experiment name -> harness entry point.
 SUITE = {
@@ -585,6 +594,108 @@ def _measure_planner_overhead() -> dict:
     }
 
 
+def measure_streaming(scale: float) -> dict:
+    """Delta-patch economics and exactness of the streaming tier.
+
+    The streaming acceptance claim: when a registered dataset takes a
+    small delta (here 2 % churn, i.e. a 4 % delta fraction — half
+    deletes, half inserts), patching the cached join through
+    ``delta_join`` beats re-running the join cold by >= 5x, while the
+    patched pair array stays *byte-identical* to the recompute and the
+    incrementally maintained sketch stays bit-identical to a rebuild.
+    Measured at the pinned full size in every profile (like the
+    planner-overhead probe): at smoke sizes the cold join finishes in
+    milliseconds and the ratio would measure fixed costs, not the
+    subsystem; one extra cold join keeps even the smoke profile cheap.
+    """
+    from repro.datagen import DriftingClusterStream
+    from repro.engine import JoinRequest, SpatialWorkspace
+    from repro.joins import delta_join
+    from repro.service import SpatialQueryService
+    from repro.stats import DatasetSketch
+
+    del scale  # pinned size in every profile; see docstring
+    n = 14_000
+    churn = 0.02
+    left = DriftingClusterStream(n, seed=51, name="streamL", churn=churn)
+    right = DriftingClusterStream(
+        n, seed=52, name="streamR", id_offset=10**9, churn=churn
+    )
+    a_before, b_before = left.base(), right.base()
+
+    service = SpatialQueryService()
+    service.register("streamL", a_before)
+    service.register("streamR", b_before)
+    request = JoinRequest("streamL", "streamR", algorithm="transformers")
+    cached = service.submit(request).report.result.pairs
+
+    delta = left.tick()
+    a_after = left.current
+    fraction = delta.fraction(n)
+
+    patch_s, (patched, _tests) = _time(
+        lambda: delta_join(cached, a_before, b_before, delta_a=delta)
+    )
+    cold_s, recomputed = _time(
+        lambda: SpatialWorkspace().join(
+            a_after, b_before, algorithm="transformers"
+        ),
+        repeats=1,
+    )
+    identical = (
+        patched.tobytes() == recomputed.result.pairs.tobytes()
+    )
+
+    # Incremental sketch maintenance vs a from-scratch rebuild.
+    sketch_before = DatasetSketch.build(a_before)
+    inc_s, incremental = _time(
+        lambda: sketch_before.apply_delta(delta, a_before, a_after)
+    )
+    rebuild_s, rebuilt = _time(lambda: DatasetSketch.build(a_after))
+    sketch_identical = (
+        incremental == rebuilt
+        and incremental.digest() == rebuilt.digest()
+    )
+
+    # The end-to-end service path: one apply_delta must patch the
+    # cached entry, and the next submit must hit the cache with the
+    # recompute's exact bytes.
+    t0 = time.perf_counter()
+    outcome = service.apply_delta("streamL", delta)
+    apply_s = time.perf_counter() - t0
+    hot = service.submit(request)
+    service_identical = bool(
+        hot.cached
+        and hot.report.delta_patched
+        and hot.report.result.pairs.tobytes()
+        == recomputed.result.pairs.tobytes()
+    )
+
+    return {
+        "n_per_side": n,
+        "churn": churn,
+        "delta_fraction": round(fraction, 4),
+        "delta_size": int(delta.size),
+        "pairs": int(len(patched)),
+        "cold_join_s": round(cold_s, 6),
+        "patch_s": round(patch_s, 6),
+        "speedup": round(cold_s / max(patch_s, 1e-9), 1),
+        "pairs_byte_identical": bool(identical),
+        "sketch": {
+            "incremental_s": round(inc_s, 6),
+            "rebuild_s": round(rebuild_s, 6),
+            "speedup": round(rebuild_s / max(inc_s, 1e-9), 2),
+            "identical": bool(sketch_identical),
+        },
+        "service": {
+            "apply_s": round(apply_s, 6),
+            "patched": int(outcome.patched),
+            "fallbacks": int(outcome.fallbacks),
+            "byte_identical": service_identical,
+        },
+    }
+
+
 #: Planner-section row fields that are deterministic functions of the
 #: pinned seeds (wall-clock fields are machine-dependent).
 _PLANNER_DETERMINISTIC_FIELDS = (
@@ -649,6 +760,15 @@ def run_profile(name: str) -> dict:
         f"within_band={pl['all_within_band']}, "
         f"overhead {pl['overhead']['share']:.2%} of a cold join"
     )
+    out["streaming"] = measure_streaming(scale)
+    stg = out["streaming"]
+    print(
+        f"[{name}] streaming @ n={stg['n_per_side']}: delta patch "
+        f"{stg['speedup']}x vs cold re-join at "
+        f"{stg['delta_fraction']:.1%} delta fraction, "
+        f"byte_identical={stg['pairs_byte_identical']}, sketch "
+        f"{stg['sketch']['speedup']}x vs rebuild"
+    )
     out["load"] = measure_load_section(scale, name)
     ld = out["load"]
     print(
@@ -692,6 +812,7 @@ def compare_profile(
     min_shm_delivery_speedup: float = 2.0,
     max_p99_regression: float = 0.25,
     max_qps_drop: float = 0.25,
+    min_delta_patch_speedup: float = 5.0,
 ) -> list[str]:
     """Failures of ``current`` against ``baseline`` (empty = pass)."""
     failures: list[str] = []
@@ -866,6 +987,39 @@ def compare_profile(
                     "costs) drifted from the baseline"
                 )
 
+    # Streaming gate: exactness is absolute (a patched result that
+    # differs from the recompute is a wrong answer, not a slow one)
+    # and the patch must stay economically worthwhile.  All properties
+    # of the *current* run — in-process ratios, no machine
+    # normalisation; tolerated as absent in pre-streaming baselines.
+    streaming = current.get("streaming")
+    if streaming is not None:
+        if not streaming["pairs_byte_identical"]:
+            failures.append(
+                f"{profile}: delta-patched pair set is not "
+                "byte-identical to the cold recompute"
+            )
+        if streaming["speedup"] < min_delta_patch_speedup:
+            failures.append(
+                f"{profile}: delta-patch speedup "
+                f"{streaming['speedup']}x below the "
+                f"{min_delta_patch_speedup}x floor at "
+                f"{streaming['delta_fraction']:.1%} delta fraction"
+            )
+        if not streaming["sketch"]["identical"]:
+            failures.append(
+                f"{profile}: incrementally maintained sketch diverged "
+                "from a from-scratch rebuild"
+            )
+        svc = streaming["service"]
+        if svc["patched"] < 1 or not svc["byte_identical"]:
+            failures.append(
+                f"{profile}: service apply_delta failed to patch its "
+                "cached entry byte-identically "
+                f"(patched={svc['patched']}, "
+                f"byte_identical={svc['byte_identical']})"
+            )
+
     # Sharded-tier load gate: delegated to the harness's own comparator
     # (byte identity, capacity-ratio floor, paced p99 and capacity vs
     # baseline); tolerated as absent in pre-sharding baselines, but the
@@ -948,6 +1102,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="allowed relative capacity drop of the sharded tier under "
         "load (default 0.25)",
     )
+    parser.add_argument(
+        "--min-delta-patch-speedup", type=float, default=5.0,
+        help="required delta-patch speedup over a cold re-join at a "
+        "small delta fraction (default 5.0)",
+    )
     args = parser.parse_args(argv)
 
     names = list(PROFILES) if args.profile == "all" else [args.profile]
@@ -980,6 +1139,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     args.max_planner_overhead, args.min_refine_speedup,
                     args.min_shm_delivery_speedup,
                     args.max_p99_regression, args.max_qps_drop,
+                    args.min_delta_patch_speedup,
                 )
             )
         if failures:

@@ -28,7 +28,15 @@ Public API tour:
 * **substrates** — :mod:`repro.geometry` (boxes, Hilbert curves,
   cylinders), :mod:`repro.storage` (simulated disk, buffer pool),
   :mod:`repro.index` (STR, R-tree, B+-tree, grids);
-* **workloads** — :mod:`repro.datagen`;
+* **streaming** — :mod:`repro.streaming`:
+  :class:`~repro.streaming.DatasetDelta` /
+  :class:`~repro.streaming.MutableDataset` mutation records,
+  :func:`~repro.joins.delta_join` result patching, incremental
+  :meth:`~repro.stats.DatasetSketch.apply_delta` sketch maintenance,
+  and ``apply_delta`` on both service tiers — cached join results are
+  patched to the post-delta truth instead of recomputed;
+* **workloads** — :mod:`repro.datagen`, including the
+  :class:`~repro.datagen.DriftingClusterStream` update generator;
 * **experiments** — ``python -m repro.harness.experiments all``.
 
 Quickstart::
@@ -73,6 +81,7 @@ from repro.engine import (
 )
 from repro.datagen import (
     SPACE,
+    DriftingClusterStream,
     dense_cluster,
     density_ladder,
     massive_cluster,
@@ -94,6 +103,7 @@ from repro.joins import (
     S3Join,
     SSSJJoin,
     SynchronizedRTreeJoin,
+    delta_join,
     distance_join,
 )
 from repro.service import (
@@ -109,8 +119,9 @@ from repro.stats import (
     estimate_pairs,
 )
 from repro.storage import BufferPool, DiskModel, SimulatedDisk
+from repro.streaming import DatasetDelta, MutableDataset
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -150,6 +161,11 @@ __all__ = [
     "S3Join",
     "BruteForceJoin",
     "distance_join",
+    # streaming (mutable datasets + delta joins)
+    "DatasetDelta",
+    "MutableDataset",
+    "delta_join",
+    "DriftingClusterStream",
     # shared types
     "Dataset",
     "JoinResult",

@@ -145,6 +145,41 @@ ENV_REGISTRY: tuple[EnvVar, ...] = (
             "it to 3000."
         ),
     ),
+    EnvVar(
+        name="REPRO_STREAM_PATCH",
+        kind="bool",
+        default=True,
+        description=(
+            "Patch cached join results through delta_join when a "
+            "dataset takes a delta (SpatialQueryService.apply_delta). "
+            "Set to 0 to always invalidate instead; results are "
+            "byte-identical either way, patching just skips the cold "
+            "re-join."
+        ),
+    ),
+    EnvVar(
+        name="REPRO_STREAM_PATCH_MAX_FRACTION",
+        kind="float",
+        default=0.25,
+        minimum=0.0,
+        description=(
+            "Largest delta fraction (delta size / dataset size) the "
+            "service still patches cached results for; larger deltas "
+            "fall back to invalidation because re-joining approaches "
+            "the patch cost."
+        ),
+    ),
+    EnvVar(
+        name="REPRO_STREAM_CHURN",
+        kind="float",
+        default=0.05,
+        minimum=0.0,
+        description=(
+            "Default per-tick churn fraction of the drifting-cluster "
+            "stream generator (repro.datagen.stream): each tick "
+            "deletes and inserts this fraction of the window."
+        ),
+    ),
 )
 
 _BY_NAME: dict[str, EnvVar] = {var.name: var for var in ENV_REGISTRY}
@@ -283,6 +318,21 @@ def default_shards() -> int:
 def soak_requests() -> int:
     """``REPRO_SOAK_REQUESTS``: service soak-suite request count."""
     return env_int("REPRO_SOAK_REQUESTS")
+
+
+def stream_patch_enabled() -> bool:
+    """``REPRO_STREAM_PATCH``: patch cached results under deltas?"""
+    return env_bool("REPRO_STREAM_PATCH")
+
+
+def stream_patch_max_fraction() -> float:
+    """``REPRO_STREAM_PATCH_MAX_FRACTION``: patch-vs-invalidate cap."""
+    return env_float("REPRO_STREAM_PATCH_MAX_FRACTION")
+
+
+def stream_default_churn() -> float:
+    """``REPRO_STREAM_CHURN``: stream generator per-tick churn."""
+    return env_float("REPRO_STREAM_CHURN")
 
 
 def env_table_markdown() -> str:

@@ -10,6 +10,7 @@ deterministic.
 
 from repro.datagen.neuro import neuro_datasets
 from repro.datagen.pairs import density_ladder
+from repro.datagen.stream import DriftingClusterStream
 from repro.datagen.synthetic import (
     SPACE,
     dense_cluster,
@@ -28,4 +29,5 @@ __all__ = [
     "massive_cluster",
     "neuro_datasets",
     "density_ladder",
+    "DriftingClusterStream",
 ]

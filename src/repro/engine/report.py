@@ -42,6 +42,11 @@ class RunReport:
     #: planned this join — ``algorithm="auto"`` with stats enabled, or
     #: any registry name under ``join(..., explain=True)``.
     plan_report: PlanReport | None = None
+    #: Provenance: this report's pair set was produced by patching a
+    #: cached result through ``delta_join`` (streaming tier) rather
+    #: than by running the named algorithm.  The pair set is exactly
+    #: the recompute's; work counters describe the patch.
+    delta_patched: bool = False
 
     # ------------------------------------------------------------------
     # Result access

@@ -38,6 +38,7 @@ from repro.joins.base import (
     canonical_pairs,
 )
 from repro.joins.brute import BruteForceJoin, brute_force_pairs
+from repro.joins.delta import delta_join
 from repro.joins.distance import distance_join, enlarged_dataset
 from repro.joins.grid_hash import grid_hash_join
 from repro.joins.gipsy import GipsyJoin
@@ -65,6 +66,7 @@ __all__ = [
     "IndexedNestedLoopJoin",
     "SSSJJoin",
     "S3Join",
+    "delta_join",
     "distance_join",
     "enlarged_dataset",
 ]

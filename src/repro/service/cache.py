@@ -88,6 +88,21 @@ class ResultCache:
         self.invalidations += len(self._entries)
         self._entries.clear()
 
+    def entries_for_fingerprint(
+        self, fingerprint: str
+    ) -> list[tuple[CacheKey, RunReport]]:
+        """Every ``(key, report)`` whose key references ``fingerprint``.
+
+        A peek for the delta-patch path: no recency refresh, no
+        hit/miss accounting — the entries are not being *served*, they
+        are about to be rewritten under post-delta keys.
+        """
+        return [
+            (key, report)
+            for key, report in self._entries.items()
+            if fingerprint in key[:2]
+        ]
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -68,15 +68,23 @@ class DatasetCatalog:
         """Current invalidation epoch (see ``__init__``)."""
         return self._generation
 
-    def register(self, name: str, dataset: Dataset) -> CatalogEntry:
+    def register(
+        self,
+        name: str,
+        dataset: Dataset,
+        *,
+        sketch: DatasetSketch | None = None,
+    ) -> CatalogEntry:
         """Bind ``name`` to ``dataset``; returns the current entry.
 
         Equal content (same fingerprint) keeps the existing entry —
         including the originally registered object, so identity-keyed
         index caches remain valid.  Changed content replaces the entry
         with a bumped version.  New content gets its statistics sketch
-        built here, once; sketches of content no longer served by any
-        name are dropped.
+        built here, once — unless the caller supplies ``sketch``, the
+        delta-maintenance path's incrementally patched statistics
+        (rebuild-identical by the ``apply_delta`` contract); sketches
+        of content no longer served by any name are dropped.
         """
         if not isinstance(name, str) or not name.strip():
             raise ValueError("dataset name must be a non-empty string")
@@ -97,7 +105,9 @@ class DatasetCatalog:
         )
         self._entries[name] = entry
         if fingerprint not in self._sketches:
-            self._sketches[fingerprint] = build_sketch(dataset)
+            self._sketches[fingerprint] = (
+                sketch if sketch is not None else build_sketch(dataset)
+            )
         if old is not None:
             # A rebind to changed content may have unbound the old
             # fingerprint: in-flight fills must re-validate.

@@ -1,0 +1,107 @@
+"""Delta-patching of cached join reports.
+
+When a registered dataset takes a :class:`~repro.streaming.DatasetDelta`,
+every cached :class:`~repro.engine.report.RunReport` whose key
+references the old content is *almost* right: the pair set differs only
+around the delta.  :func:`patch_cached_entry` rewrites one such entry
+to the post-delta truth through :func:`~repro.joins.delta_join` —
+producing the key the recomputed join would be cached under and a
+report whose pair set is byte-identical to that recompute — without
+running the join's algorithm at all.
+
+A ``None`` return means "this entry cannot be patched, invalidate it":
+
+* the key carries a ``within=d`` predicate — those results live on
+  *enlarged* derived datasets whose deltas are not the caller's delta;
+* the partner side's fingerprint cannot be resolved to a live dataset
+  (nothing to join insertions against).
+
+The caller decides the third fallback (delta too large to be worth
+patching) before ever calling in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Callable
+
+from repro.engine.report import RunReport
+from repro.joins.base import Dataset, JoinResult, JoinStats
+from repro.joins.delta import delta_join
+from repro.service.fingerprint import CacheKey
+from repro.streaming.delta import DatasetDelta
+
+#: Phase label of patched reports' join stats (shows up in reporting
+#: rows and latency summaries, distinguishing patches from real runs).
+DELTA_PATCH_PHASE = "delta_patch"
+
+
+def patch_cached_entry(
+    key: CacheKey,
+    report: RunReport,
+    *,
+    old_fingerprint: str,
+    new_fingerprint: str,
+    delta: DatasetDelta,
+    old_dataset: Dataset,
+    new_dataset: Dataset,
+    resolve: Callable[[str], Dataset | None],
+) -> tuple[CacheKey, RunReport] | None:
+    """Rewrite one cached entry for a delta on ``old_fingerprint``.
+
+    ``resolve`` maps a content fingerprint to the dataset currently
+    served under it (``None`` when no name serves it).  Returns the
+    post-delta ``(key, report)``, or ``None`` when the entry must fall
+    back to invalidation.  The patched report's pair set is exactly the
+    full recompute's; its join stats describe the patch work (grid-hash
+    tests over the insertions) under the :data:`DELTA_PATCH_PHASE`
+    phase, and both index sides are marked reused — a patch builds
+    nothing.
+    """
+    if key[5] is not None:
+        return None
+    side_a = key[0] == old_fingerprint
+    side_b = key[1] == old_fingerprint
+    a_before = old_dataset if side_a else resolve(key[0])
+    b_before = old_dataset if side_b else resolve(key[1])
+    if a_before is None or b_before is None:
+        return None
+
+    start = time.perf_counter()
+    pairs, tests = delta_join(
+        report.result.pairs,
+        a_before,
+        b_before,
+        delta_a=delta if side_a else None,
+        delta_b=delta if side_b else None,
+    )
+    wall = time.perf_counter() - start
+
+    a_after = new_dataset if side_a else a_before
+    b_after = new_dataset if side_b else b_before
+    new_key: CacheKey = (
+        new_fingerprint if side_a else key[0],
+        new_fingerprint if side_b else key[1],
+        *key[2:],
+    )
+    patch_stats = JoinStats(
+        algorithm=report.algorithm,
+        phase=DELTA_PATCH_PHASE,
+        pairs_found=len(pairs),
+        intersection_tests=tests,
+        wall_seconds=wall,
+    )
+    patched = dataclasses.replace(
+        report,
+        n_a=len(a_after),
+        n_b=len(b_after),
+        result=JoinResult(pairs=pairs, stats=patch_stats),
+        reused_a=True,
+        reused_b=True,
+        index_pages_written_a=0,
+        index_pages_written_b=0,
+        plan_report=None,
+        delta_patched=True,
+    )
+    return new_key, patched

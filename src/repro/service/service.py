@@ -60,6 +60,10 @@ import numpy as np
 
 from repro._types import IntArray
 
+from repro.core.config import (
+    stream_patch_enabled,
+    stream_patch_max_fraction,
+)
 from repro.engine.executor import BatchExecutor, JoinRequest
 from repro.engine.planner import PlanReport, plan_join_sketched
 from repro.engine.report import RunReport
@@ -74,8 +78,10 @@ from repro.service.fingerprint import (
     dataset_fingerprint,
     request_cache_key,
 )
+from repro.service.patch import patch_cached_entry
 from repro.service.stats import ServiceStats
 from repro.storage.disk import DiskModel
+from repro.streaming.delta import DatasetDelta
 
 #: Latency bucket for range queries in ``latency_by_algorithm``.
 RANGE_QUERY_LATENCY_KEY = "range_query"
@@ -118,6 +124,22 @@ class ServiceResponse:
                 f"{self.error_type}: {self.error}"
             )
         return self
+
+
+@dataclass(frozen=True)
+class DeltaOutcome:
+    """What :meth:`SpatialQueryService.apply_delta` did for one delta."""
+
+    #: The catalog entry now bound to the name (post-delta content).
+    entry: CatalogEntry
+    #: Delta size relative to the pre-delta cardinality.
+    fraction: float
+    #: Cached results rewritten to the post-delta truth via delta_join.
+    patched: int
+    #: Cached results that fell back to invalidation instead.
+    fallbacks: int
+    #: True when the delta changed nothing (same content fingerprint).
+    noop: bool = False
 
 
 class SpatialQueryService:
@@ -179,6 +201,11 @@ class SpatialQueryService:
         #: Range-query indexes dropped because the queried name was
         #: unbound while the index build was in flight.
         self._stale_index_drops = 0
+        #: Streaming tier: deltas applied, cache entries patched via
+        #: delta_join, and entries that fell back to invalidation.
+        self._delta_applies = 0
+        self._delta_patches = 0
+        self._delta_patch_fallbacks = 0
         self._latencies: dict[str, LatencyRecord] = {}
         # Estimator accuracy: predicted vs actual work of every miss
         # the statistics layer planned (``algorithm="auto"``).
@@ -241,6 +268,148 @@ class SpatialQueryService:
                 with self._query_lock:
                     self._queries.forget(entry.dataset)
             return entry
+
+    def apply_delta(self, name: str, delta: DatasetDelta) -> DeltaOutcome:
+        """Advance ``name`` along ``delta``, patching cached results.
+
+        The streaming tier's registration path: instead of re-binding
+        the name to freshly built content (full fingerprint, full
+        sketch, full cache invalidation), the catalog fingerprint
+        advances along the delta lineage —
+
+        * the post-delta dataset is materialised by
+          :meth:`DatasetDelta.apply` (bit-identical to building it from
+          scratch, so its fingerprint equals a cold registration's);
+        * the stored sketch is maintained incrementally
+          (:meth:`DatasetSketch.apply_delta`, rebuild-identical);
+        * every cached result whose key references the old content is
+          **patched** through :func:`~repro.joins.delta_join` and
+          re-filed under the post-delta key, byte-identical to a full
+          recompute — unless patching is disabled
+          (``REPRO_STREAM_PATCH=0``), the delta fraction exceeds
+          ``REPRO_STREAM_PATCH_MAX_FRACTION``, the entry's predicate
+          is not plain intersection, or its partner content is not
+          resolvable; those entries fall back to plain invalidation
+          (counted in ``delta_patch_fallbacks``).
+
+        Raises ``KeyError`` for unknown names and propagates
+        :meth:`DatasetDelta.apply`'s validation errors (unknown delete
+        ids, colliding insert ids) without touching service state.
+        """
+        while True:
+            with self._lock:
+                old = self._catalog.resolve(name)
+                old_sketch = self._catalog.sketch_by_fingerprint(
+                    old.fingerprint
+                )
+            # The expensive work — materialising the post-delta arrays,
+            # SHA-256 over their bytes, sketch maintenance — runs
+            # outside the lock; the re-check below restarts if a
+            # concurrent rebind moved the name meanwhile.
+            new_dataset = delta.apply(old.dataset)
+            new_fingerprint = dataset_fingerprint(new_dataset)
+            new_sketch = (
+                old_sketch.apply_delta(delta, old.dataset, new_dataset)
+                if old_sketch is not None
+                else None
+            )
+            with self._lock:
+                current = self._catalog.resolve(name)
+                if current.fingerprint != old.fingerprint:
+                    continue
+                self._delta_applies += 1
+                fraction = delta.fraction(len(old.dataset))
+                if new_fingerprint == old.fingerprint:
+                    return DeltaOutcome(
+                        entry=current,
+                        fraction=fraction,
+                        patched=0,
+                        fallbacks=0,
+                        noop=True,
+                    )
+                patchable = (
+                    stream_patch_enabled()
+                    and fraction <= stream_patch_max_fraction()
+                )
+                affected = self._results.entries_for_fingerprint(
+                    old.fingerprint
+                )
+                rewritten: list[tuple[CacheKey, RunReport]] = []
+                fallbacks = 0
+                if patchable:
+                    for key, report in affected:
+                        patched = patch_cached_entry(
+                            key,
+                            report,
+                            old_fingerprint=old.fingerprint,
+                            new_fingerprint=new_fingerprint,
+                            delta=delta,
+                            old_dataset=old.dataset,
+                            new_dataset=new_dataset,
+                            resolve=self._dataset_by_fingerprint,
+                        )
+                        if patched is None:
+                            fallbacks += 1
+                        else:
+                            rewritten.append(patched)
+                else:
+                    fallbacks = len(affected)
+                entry = self._catalog.register(
+                    name, new_dataset, sketch=new_sketch
+                )
+                # Mirror register()'s alias-guarded invalidation: old
+                # entries not rewritten above die here (and the old
+                # content's range-query index with them) unless another
+                # name still serves the old content.
+                if not self._catalog.names_bound_to(old.fingerprint):
+                    self._results.invalidate_fingerprint(old.fingerprint)
+                    with self._query_lock:
+                        self._queries.forget(old.dataset)
+                for new_key, new_report in rewritten:
+                    self._results.put(new_key, new_report)
+                self._delta_patches += len(rewritten)
+                self._delta_patch_fallbacks += fallbacks
+                return DeltaOutcome(
+                    entry=entry,
+                    fraction=fraction,
+                    patched=len(rewritten),
+                    fallbacks=fallbacks,
+                )
+
+    def _dataset_by_fingerprint(self, fingerprint: object) -> Dataset | None:
+        """The dataset served under a content fingerprint, if any.
+
+        Caller holds ``self._lock`` (re-entrant).  Any name bound to
+        the fingerprint works — equal fingerprints mean equal content.
+        """
+        if not isinstance(fingerprint, str):
+            return None
+        names = self._catalog.names_bound_to(fingerprint)
+        if not names:
+            return None
+        return self._catalog.resolve(names[0]).dataset
+
+    def cached_entries(
+        self, fingerprint: str
+    ) -> list[tuple[CacheKey, RunReport]]:
+        """Every cached ``(key, report)`` referencing ``fingerprint``.
+
+        A peek (no hit/miss accounting): the sharded tier's router
+        extracts affected entries from shards with this before patching
+        them router-side.
+        """
+        with self._lock:
+            return self._results.entries_for_fingerprint(fingerprint)
+
+    def fill_cached(self, key: CacheKey, report: RunReport) -> None:
+        """Store a finished report under ``key`` directly.
+
+        The sharded tier's router pushes delta-patched reports to the
+        owning shard with this; the single-process path never needs it
+        (apply_delta fills its own cache).
+        """
+        with self._lock:
+            self._results.put(key, report)
 
     def invalidate_fingerprint(self, fingerprint: str) -> int:
         """Drop cached results computed from this content fingerprint.
@@ -609,6 +778,9 @@ class SpatialQueryService:
                 cache_max_entries=self._results.max_entries,
                 cache_stale_fill_skips=self._stale_fill_skips,
                 stale_index_drops=self._stale_index_drops,
+                delta_applies=self._delta_applies,
+                delta_patches=self._delta_patches,
+                delta_patch_fallbacks=self._delta_patch_fallbacks,
                 catalog_size=len(self._catalog),
                 latency_by_algorithm={
                     name: record.summary()

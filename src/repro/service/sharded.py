@@ -62,7 +62,11 @@ from multiprocessing.connection import Connection
 import numpy as np
 
 from repro._types import IntArray
-from repro.core.config import default_shards
+from repro.core.config import (
+    default_shards,
+    stream_patch_enabled,
+    stream_patch_max_fraction,
+)
 from repro.engine.executor import JoinRequest
 from repro.engine.report import RunReport
 from repro.engine.workspace import SpatialWorkspace
@@ -75,12 +79,19 @@ from repro.service.fingerprint import (
     dataset_fingerprint,
     request_cache_key,
 )
-from repro.service.service import ServiceResponse, SpatialQueryService
+from repro.service.patch import patch_cached_entry
+from repro.service.service import (
+    DeltaOutcome,
+    ServiceResponse,
+    SpatialQueryService,
+)
 from repro.service.sharding import HashRing
 from repro.service.stats import ServiceStats
 from repro.service.wire import (
     CrashCommand,
     DatasetPayload,
+    ExtractCommand,
+    FillCommand,
     InvalidateCommand,
     JoinCommand,
     RangeCommand,
@@ -91,6 +102,7 @@ from repro.service.wire import (
     StatsCommand,
     UnregisterCommand,
 )
+from repro.streaming.delta import DatasetDelta
 from repro.storage.disk import DiskModel
 from repro.storage.shm import (
     SharedDatasetPool,
@@ -188,6 +200,11 @@ def handle_command(
         return service.range_query(
             dataset, command.query, buffer_pages=command.buffer_pages
         )
+    if isinstance(command, ExtractCommand):
+        return service.cached_entries(command.fingerprint)
+    if isinstance(command, FillCommand):
+        service.fill_cached(command.key, command.report)
+        return True
     if isinstance(command, StatsCommand):
         return (service.stats(), service.latency_records())
     raise TypeError(
@@ -695,6 +712,11 @@ class ShardedQueryService:
         self._retired: list[SharedDatasetRef] = []
         self._degraded = 0
         self._rejected = 0
+        #: Streaming tier, router side: deltas routed, entries patched
+        #: and re-filed, and entries that fell back to invalidation.
+        self._delta_applies = 0
+        self._delta_patches = 0
+        self._delta_patch_fallbacks = 0
         self._seq = itertools.count(1)
         self._started = time.perf_counter()
         self._closed = False
@@ -813,6 +835,154 @@ class ShardedQueryService:
                 )
             self._retire(binding, replaced_on=None)
             return binding.entry()
+
+    def apply_delta(self, name: str, delta: DatasetDelta) -> DeltaOutcome:
+        """Advance ``name`` along ``delta`` across the whole tier.
+
+        The sharded mirror of
+        :meth:`SpatialQueryService.apply_delta`: cached results
+        touching the old content are *extracted* from every shard
+        (joins are pair-routed, so they can live anywhere), patched
+        router-side through :func:`~repro.joins.delta_join`, and the
+        post-delta name is re-bound exactly like :meth:`register` —
+        shared-memory publication, owner-shard registration, retire of
+        the old binding (which broadcasts the invalidation sweep).
+        Each patched report is then *filled* onto the shard owning its
+        post-delta pair, where a later identical join is a cache hit;
+        the router's stale snapshot learns the patched answers too, so
+        even degraded responses are post-delta.
+
+        Runs under the catalog-mutation lock end-to-end: deltas
+        serialise with register/unregister, never with joins.  Raises
+        ``KeyError`` for unknown names and propagates
+        :meth:`DatasetDelta.apply`'s validation errors.
+        """
+        with self._mutate:
+            self._ensure_open()
+            with self._lock:
+                old = self._lookup(name)
+            new_dataset = delta.apply(old.dataset)
+            new_fingerprint = dataset_fingerprint(new_dataset)
+            fraction = delta.fraction(len(old.dataset))
+            with self._lock:
+                self._delta_applies += 1
+            if new_fingerprint == old.fingerprint:
+                return DeltaOutcome(
+                    entry=old.entry(),
+                    fraction=fraction,
+                    patched=0,
+                    fallbacks=0,
+                    noop=True,
+                )
+            patchable = (
+                stream_patch_enabled()
+                and fraction <= stream_patch_max_fraction()
+            )
+            extracts = [
+                handle.request_async(
+                    ExtractCommand(
+                        seq=next(self._seq),
+                        fingerprint=old.fingerprint,
+                    )
+                )
+                for handle in self._shards
+            ]
+            affected: dict[CacheKey, RunReport] = {}
+            for future in extracts:
+                reply = future.result()
+                self._raise_reply(reply, f"extract for delta on {name!r}")
+                payload = reply.payload
+                assert isinstance(payload, list)
+                for key, report in payload:
+                    affected.setdefault(key, report)
+            rewritten: list[tuple[CacheKey, RunReport]] = []
+            fallbacks = 0
+            if patchable:
+                for key, report in affected.items():
+                    patched = patch_cached_entry(
+                        key,
+                        report,
+                        old_fingerprint=old.fingerprint,
+                        new_fingerprint=new_fingerprint,
+                        delta=delta,
+                        old_dataset=old.dataset,
+                        new_dataset=new_dataset,
+                        resolve=self._dataset_by_fingerprint,
+                    )
+                    if patched is None:
+                        fallbacks += 1
+                    else:
+                        rewritten.append(patched)
+            else:
+                fallbacks = len(affected)
+            payload_new = self._publish(new_dataset, new_fingerprint)
+            binding = _Binding(
+                name=name,
+                dataset=new_dataset,
+                fingerprint=new_fingerprint,
+                version=old.version + 1,
+                payload=payload_new,
+                shard=self._ring.owner(new_fingerprint),
+            )
+            reply = self._shards[binding.shard].request(
+                RegisterCommand(
+                    seq=next(self._seq), name=name, payload=payload_new
+                )
+            )
+            self._raise_reply(reply, f"register {name!r}")
+            with self._lock:
+                self._names[name] = binding
+            # Old-content teardown (owner-shard unbind already happened
+            # as part of the register when shards coincide; the
+            # invalidation broadcast sweeps the extracted originals).
+            self._retire(old, replaced_on=binding.shard)
+            fills = []
+            for key, report in rewritten:
+                fp_a, fp_b = key[0], key[1]
+                assert isinstance(fp_a, str) and isinstance(fp_b, str)
+                owner = self._ring.owner_of_pair(fp_a, fp_b)
+                fills.append(
+                    (
+                        key,
+                        report,
+                        self._shards[owner].request_async(
+                            FillCommand(
+                                seq=next(self._seq),
+                                key=key,
+                                report=report,
+                            )
+                        ),
+                    )
+                )
+            for key, report, future in fills:
+                self._raise_reply(
+                    future.result(), "cache fill after delta"
+                )
+                self._remember(
+                    key,
+                    report,
+                    f"{report.dataset_a} x {report.dataset_b} "
+                    f"[delta-patched]",
+                )
+            with self._lock:
+                self._delta_patches += len(rewritten)
+                self._delta_patch_fallbacks += fallbacks
+            return DeltaOutcome(
+                entry=binding.entry(),
+                fraction=fraction,
+                patched=len(rewritten),
+                fallbacks=fallbacks,
+            )
+
+    def _dataset_by_fingerprint(self, fingerprint: object) -> Dataset | None:
+        """The dataset some live binding serves under ``fingerprint``."""
+        if not isinstance(fingerprint, str):
+            return None
+        with self._lock:
+            for binding in self._names.values():
+                if binding.fingerprint == fingerprint:
+                    return binding.dataset
+        return None
 
     def _retire(
         self, old: _Binding, *, replaced_on: int | None
@@ -1267,6 +1437,9 @@ class ShardedQueryService:
         with self._lock:
             degraded = self._degraded
             rejected = self._rejected
+            delta_applies = self._delta_applies
+            delta_patches = self._delta_patches
+            delta_fallbacks = self._delta_patch_fallbacks
             catalog_size = len(self._names)
         return ServiceStats.merged(
             parts,
@@ -1277,6 +1450,9 @@ class ShardedQueryService:
             },
             degraded_responses=degraded,
             rejected_requests=rejected,
+            delta_applies=delta_applies,
+            delta_patches=delta_patches,
+            delta_patch_fallbacks=delta_fallbacks,
             extra_catalog_size=catalog_size,
         )
 

@@ -61,6 +61,16 @@ class ServiceStats:
     #: over quota, or the owning shard saturated past the backpressure
     #: timeout with no stale answer to degrade to).
     rejected_requests: int = 0
+    #: Deltas applied through ``apply_delta`` (streaming tier).
+    delta_applies: int = 0
+    #: Cached results patched in place by delta_join instead of being
+    #: invalidated when their dataset took a delta.
+    delta_patches: int = 0
+    #: Cached results a delta *could not* patch (predicate not plain
+    #: intersection, partner fingerprint unresolvable, patching
+    #: disabled, or the delta fraction above the threshold) — these
+    #: fell back to invalidation.
+    delta_patch_fallbacks: int = 0
     #: Sharded tier only: per-shard snapshot dicts (``as_dict`` rows),
     #: in shard order.  Empty for single-process services.
     per_shard: tuple[dict[str, object], ...] = ()
@@ -125,6 +135,9 @@ class ServiceStats:
         degraded_responses: int = 0,
         rejected_requests: int = 0,
         extra_catalog_size: int | None = None,
+        delta_applies: int = 0,
+        delta_patches: int = 0,
+        delta_patch_fallbacks: int = 0,
     ) -> "ServiceStats":
         """One aggregate snapshot over per-shard snapshots.
 
@@ -162,6 +175,12 @@ class ServiceStats:
             stale_index_drops=sum(p.stale_index_drops for p in parts),
             degraded_responses=degraded_responses,
             rejected_requests=rejected_requests,
+            delta_applies=delta_applies
+            + sum(p.delta_applies for p in parts),
+            delta_patches=delta_patches
+            + sum(p.delta_patches for p in parts),
+            delta_patch_fallbacks=delta_patch_fallbacks
+            + sum(p.delta_patch_fallbacks for p in parts),
             catalog_size=(
                 extra_catalog_size
                 if extra_catalog_size is not None
@@ -197,6 +216,9 @@ class ServiceStats:
             "stale_index_drops": self.stale_index_drops,
             "degraded_responses": self.degraded_responses,
             "rejected_requests": self.rejected_requests,
+            "delta_applies": self.delta_applies,
+            "delta_patches": self.delta_patches,
+            "delta_patch_fallbacks": self.delta_patch_fallbacks,
             "catalog_size": self.catalog_size,
             "latency_by_algorithm": {
                 name: {k: round(v, 6) for k, v in row.items()}

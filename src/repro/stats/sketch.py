@@ -28,12 +28,19 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro._types import AnyArray, FloatArray, IntArray
 
 from repro.joins.base import Dataset
+
+if TYPE_CHECKING:
+    # Runtime import would be cyclic: repro.streaming.delta imports
+    # repro.joins.base, whose package __init__ transitively reaches
+    # repro.stats via the planner.  apply_delta duck-types the delta.
+    from repro.streaming.delta import DatasetDelta
 
 #: Bump when the sketch layout changes: persisted sketches from an
 #: older layout must not silently alias new ones.
@@ -170,6 +177,135 @@ class DatasetSketch:
             counts=_frozen(counts),
             refined_cells=_frozen(refined_cells),
             refined_counts=_frozen(refined_counts),
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        delta: "DatasetDelta",
+        before: Dataset,
+        after: Dataset,
+        heavy_factor: float = HEAVY_FACTOR,
+    ) -> "DatasetSketch":
+        """The sketch of ``after``, maintained from this one.
+
+        Precondition: ``self == DatasetSketch.build(before)`` (default
+        resolution) and ``after == delta.apply(before)``.  The result
+        is **equal to** ``DatasetSketch.build(after)`` — bit for bit,
+        digest included — whichever path produced it; the property
+        suite pins rebuild == incremental.
+
+        The incremental path touches O(|delta|) elements for the grid
+        counts (histogram the deleted/inserted centres with build's
+        exact arithmetic and add/subtract) plus one O(n) pass for the
+        scalar summaries, and falls back to a full rebuild whenever the
+        patched sketch could not be rebuild-identical: the target
+        resolution changes with the cardinality, the MBB moves (every
+        cell boundary moves with it), the heavy-cell set changes (the
+        refinement level is keyed on it), or the dataset transitions
+        to/from empty.
+        """
+        n_after = len(after)
+        if (
+            self.n == 0
+            or n_after == 0
+            or _grid_resolution(n_after, self.ndim) != self.resolution
+        ):
+            return DatasetSketch.build(after, heavy_factor=heavy_factor)
+        boxes = after.boxes
+        lo = boxes.lo.min(axis=0)
+        hi = boxes.hi.max(axis=0)
+        if not (
+            np.array_equal(lo, self.lo) and np.array_equal(hi, self.hi)
+        ):
+            return DatasetSketch.build(after, heavy_factor=heavy_factor)
+
+        res = self.resolution
+        shape = (res,) * self.ndim
+        side = np.maximum(hi - lo, 1e-12) / res
+        del_mask = np.isin(before.ids, delta.delete_ids)
+        del_centers = before.boxes.centers()[del_mask]
+        ins_centers = delta.insert_boxes.centers()
+
+        def _flat(centers: FloatArray, grid_res: int, grid_side: FloatArray) -> IntArray:
+            if not len(centers):
+                return np.empty(0, dtype=np.int64)
+            idx = np.clip(
+                np.floor((centers - lo) / grid_side).astype(np.int64),
+                0,
+                grid_res - 1,
+            )
+            out: IntArray = np.ravel_multi_index(
+                tuple(idx.T), (grid_res,) * self.ndim
+            ).astype(np.int64)
+            return out
+
+        counts = self.counts.astype(np.int64, copy=True)
+        counts -= np.bincount(
+            _flat(del_centers, res, side), minlength=counts.size
+        ).astype(np.int64)
+        counts += np.bincount(
+            _flat(ins_centers, res, side), minlength=counts.size
+        ).astype(np.int64)
+        if bool((counts < 0).any()):
+            # Precondition violated (sketch does not describe `before`);
+            # the rebuild is always correct.
+            return DatasetSketch.build(after, heavy_factor=heavy_factor)
+
+        mean = n_after / counts.size
+        heavy = np.flatnonzero(
+            counts > heavy_factor * max(mean, 1.0)
+        ).astype(np.int64)
+        if not np.array_equal(heavy, self.refined_cells):
+            return DatasetSketch.build(after, heavy_factor=heavy_factor)
+
+        refined_counts = self.refined_counts
+        if heavy.size:
+            fine_res = 2 * res
+            fine_side = np.maximum(hi - lo, 1e-12) / fine_res
+            coarse_multi = np.stack(np.unravel_index(heavy, shape), axis=1)
+            offsets = np.stack(
+                np.unravel_index(np.arange(2**self.ndim), (2,) * self.ndim),
+                axis=1,
+            )
+            child_multi = 2 * coarse_multi[:, None, :] + offsets[None, :, :]
+            child_flat = np.ravel_multi_index(
+                tuple(np.moveaxis(child_multi, 2, 0)), (fine_res,) * self.ndim
+            ).ravel()
+            # Children of distinct heavy parents are disjoint, so the
+            # flat child ids are unique and searchsorted maps each
+            # delta element to at most one refined slot; elements whose
+            # fine cell is not a heavy cell's child are ignored exactly
+            # as the rebuild's gather ignores them.
+            order = np.argsort(child_flat, kind="stable")
+            sorted_children = child_flat[order]
+            patched = refined_counts.astype(np.int64, copy=True).ravel()
+            for flats, sign in (
+                (_flat(del_centers, fine_res, fine_side), -1),
+                (_flat(ins_centers, fine_res, fine_side), +1),
+            ):
+                if not flats.size:
+                    continue
+                pos = np.searchsorted(sorted_children, flats)
+                valid = pos < sorted_children.size
+                valid[valid] &= sorted_children[pos[valid]] == flats[valid]
+                slots = order[pos[valid]]
+                np.add.at(patched, slots, sign)
+            refined_counts = patched.reshape(refined_counts.shape)
+
+        return DatasetSketch(
+            n=n_after,
+            ndim=self.ndim,
+            lo=_frozen(lo),
+            hi=_frozen(hi),
+            avg_extent=_frozen((boxes.hi - boxes.lo).mean(axis=0)),
+            resolution=res,
+            counts=_frozen(counts),
+            refined_cells=_frozen(heavy),
+            refined_counts=_frozen(refined_counts),
+            version=self.version,
         )
 
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ def test_examples_directory_complete():
         "service_quickstart.py",
         "cost_based_planning.py",
         "load_harness_quickstart.py",
+        "streaming_quickstart.py",
     } <= present
 
 
@@ -81,6 +82,15 @@ def test_load_harness_quickstart():
     assert "0 failures" in out
     assert "degraded=True" in out
     assert "survived sustained load ✓" in out
+
+
+def test_streaming_quickstart():
+    out = run_example("streaming_quickstart.py", "2000")
+    assert "cached=False" in out
+    assert "cached=True" in out
+    assert "delta_patched=True" in out
+    assert "cached result(s) patched" in out
+    assert "byte-identical to recompute ✓" in out
 
 
 def test_cost_based_planning():

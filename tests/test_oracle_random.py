@@ -12,6 +12,8 @@ in coverage but fully deterministic run to run (no reliance on test
 ordering or pytest-randomly).
 """
 
+import zlib
+
 import numpy as np
 import pytest
 
@@ -172,3 +174,107 @@ def test_all_overlapping_pair_is_complete_bipartite():
     """Sanity: the all-overlapping case produces every possible pair."""
     label, a, b = next(c for c in CASES if c[0] == "all-overlapping-pair")
     assert len(_oracle(label, a, b)) == len(a) * len(b)
+
+
+# ----------------------------------------------------------------------
+# Delta oracle: patching a cached result must equal recomputing it.
+# ----------------------------------------------------------------------
+#: Churned-element fractions exercised per case (delta size relative to
+#: the base cardinality; half deletes, half inserts).
+_DELTA_FRACTIONS = (0.01, 0.05, 0.25)
+#: Fresh insert ids per side (disjoint from every generated id space).
+_DELTA_INSERT_BASE = {"A": 3 * 10**9, "B": 4 * 10**9}
+
+_DELTA_CACHE: dict[
+    tuple[str, float], tuple[Dataset, Dataset, np.ndarray]
+] = {}
+
+
+def _seeded_delta(dataset, side, fraction, rng, space_lo, space_hi):
+    """A churn delta over ``dataset``: k deletes + k fresh inserts."""
+    from repro.streaming import DatasetDelta
+
+    k = int(round(len(dataset) * fraction / 2.0))
+    k = min(k, len(dataset))
+    ndim = dataset.boxes.ndim
+    if k == 0:
+        return DatasetDelta.empty(ndim=ndim)
+    delete = rng.choice(dataset.ids, size=k, replace=False)
+    insert_ids = _DELTA_INSERT_BASE[side] + np.arange(k, dtype=np.int64)
+    lo = rng.uniform(space_lo, space_hi, size=(k, ndim))
+    extent = rng.uniform(0.0, (space_hi - space_lo) * 0.05, size=(k, ndim))
+    return DatasetDelta(
+        delete_ids=np.asarray(delete, dtype=np.int64),
+        insert_ids=insert_ids,
+        insert_boxes=BoxArray(lo, lo + extent),
+    )
+
+
+def _delta_case(
+    label: str, a: Dataset, b: Dataset, fraction: float
+) -> tuple[Dataset, Dataset, np.ndarray]:
+    """Post-delta datasets plus the delta-patched pair array, memoized.
+
+    The cached input being patched is the *oracle's* pair array for the
+    base pair; the patched output is then held against every
+    algorithm's recompute of the post-delta join.
+    """
+    from repro.joins import delta_join
+
+    key = (label, fraction)
+    if key not in _DELTA_CACHE:
+        # zlib.crc32, not hash(): str hashing is salted per process.
+        rng = np.random.default_rng(
+            MASTER_SEED
+            + zlib.crc32(f"{label}:{fraction}".encode())
+        )
+        boxes = [d.boxes for d in (a, b) if len(d)]
+        if boxes:
+            space_lo = float(min(np.min(bx.lo) for bx in boxes))
+            space_hi = float(max(np.max(bx.hi) for bx in boxes))
+        else:
+            space_lo, space_hi = 0.0, 1.0
+        delta_a = _seeded_delta(a, "A", fraction, rng, space_lo, space_hi)
+        delta_b = _seeded_delta(b, "B", fraction, rng, space_lo, space_hi)
+        cached = brute_force_pairs(a, b)
+        patched, _tests = delta_join(
+            cached,
+            a,
+            b,
+            delta_a=None if delta_a.is_noop else delta_a,
+            delta_b=None if delta_b.is_noop else delta_b,
+        )
+        _DELTA_CACHE[key] = (delta_a.apply(a), delta_b.apply(b), patched)
+    return _DELTA_CACHE[key]
+
+
+@pytest.mark.parametrize("fraction", _DELTA_FRACTIONS)
+@pytest.mark.parametrize(
+    "case", CASES, ids=[label for label, _, _ in CASES]
+)
+def test_delta_patch_is_byte_identical_to_recompute(case, fraction):
+    """delta_join over the cached oracle == brute force from scratch."""
+    label, a, b = case
+    a_after, b_after, patched = _delta_case(label, a, b, fraction)
+    recomputed = brute_force_pairs(a_after, b_after)
+    assert patched.tobytes() == recomputed.tobytes(), (
+        f"patched pair bytes diverge from recompute on {label} "
+        f"at fraction {fraction}"
+    )
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+@pytest.mark.parametrize("fraction", _DELTA_FRACTIONS)
+@pytest.mark.parametrize(
+    "case", CASES, ids=[label for label, _, _ in CASES]
+)
+def test_delta_patch_matches_every_algorithm(case, fraction, algorithm):
+    """Every algorithm's post-delta join equals the patched pair set."""
+    label, a, b = case
+    a_after, b_after, patched = _delta_case(label, a, b, fraction)
+    report = SpatialWorkspace().join(a_after, b_after, algorithm=algorithm)
+    expected = {(int(x), int(y)) for x, y in patched}
+    assert report.pair_set() == expected, (
+        f"{algorithm} disagrees with the delta patch on {label} "
+        f"at fraction {fraction}"
+    )

@@ -1,0 +1,239 @@
+"""Service-tier streaming: ``apply_delta`` on both front-ends.
+
+The contract under test: after a delta, every join answer the service
+hands out — patched cache hit, fresh miss, degraded snapshot — is the
+answer a *cold* service registered directly with the post-delta
+datasets would compute, byte for byte.  Patching is an optimisation,
+never a semantic: the fallback paths (predicate not plain
+intersection, fraction over threshold, patching disabled, unknown
+partner) must converge to the same truth through invalidation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import env_override
+from repro.datagen import DriftingClusterStream, uniform_dataset
+from repro.engine.executor import JoinRequest
+from repro.service import SpatialQueryService
+from repro.service.sharded import ShardedQueryService
+from repro.streaming import DatasetDelta
+
+
+def _streams(n=800, seed_a=11, seed_b=23):
+    a = DriftingClusterStream(n, seed=seed_a, name="sa", id_offset=0)
+    b = DriftingClusterStream(
+        n, seed=seed_b, name="sb", id_offset=5 * 10**8
+    )
+    return a, b
+
+
+def _cold_pairs(a, b, algorithm):
+    service = SpatialQueryService()
+    service.register("sa", a)
+    service.register("sb", b)
+    response = service.submit(
+        JoinRequest(a="sa", b="sb", algorithm=algorithm)
+    )
+    assert response.report is not None
+    return response.report.result.pairs
+
+
+class TestSingleProcessApplyDelta:
+    def test_patches_cached_results_byte_identically(self):
+        sa, sb = _streams()
+        service = SpatialQueryService()
+        service.register("sa", sa.base())
+        service.register("sb", sb.base())
+        for algorithm in ("pbsm", "rtree"):
+            service.submit(
+                JoinRequest(a="sa", b="sb", algorithm=algorithm)
+            )
+        delta = sa.tick()
+        outcome = service.apply_delta("sa", delta)
+        assert not outcome.noop
+        assert outcome.patched == 2
+        assert outcome.fallbacks == 0
+        for algorithm in ("pbsm", "rtree"):
+            hot = service.submit(
+                JoinRequest(a="sa", b="sb", algorithm=algorithm)
+            )
+            assert hot.cached
+            assert hot.report.delta_patched
+            cold = _cold_pairs(sa.current, sb.current, algorithm)
+            assert hot.report.result.pairs.tobytes() == cold.tobytes()
+        stats = service.stats()
+        assert stats.delta_applies == 1
+        assert stats.delta_patches == 2
+        assert stats.delta_patch_fallbacks == 0
+
+    def test_catalog_advances_to_cold_fingerprint(self):
+        sa, sb = _streams()
+        service = SpatialQueryService()
+        service.register("sa", sa.base())
+        delta = sa.tick()
+        outcome = service.apply_delta("sa", delta)
+        cold = SpatialQueryService()
+        entry = cold.register("sa", sa.current)
+        assert outcome.entry.fingerprint == entry.fingerprint
+        assert outcome.entry.version == 2
+
+    def test_noop_delta_leaves_cache_alone(self):
+        sa, _ = _streams()
+        service = SpatialQueryService()
+        service.register("sa", sa.base())
+        outcome = service.apply_delta(
+            "sa", DatasetDelta.empty(ndim=sa.base().boxes.ndim)
+        )
+        assert outcome.noop
+        assert outcome.patched == 0
+
+    def test_within_predicate_falls_back_to_invalidation(self):
+        sa, sb = _streams(n=400)
+        service = SpatialQueryService()
+        service.register("sa", sa.base())
+        service.register("sb", sb.base())
+        service.submit(
+            JoinRequest(a="sa", b="sb", algorithm="pbsm", within=2.0)
+        )
+        delta = sa.tick()
+        outcome = service.apply_delta("sa", delta)
+        assert outcome.patched == 0
+        assert outcome.fallbacks == 1
+        # The recomputed answer still matches a cold service's.
+        hot = service.submit(
+            JoinRequest(a="sa", b="sb", algorithm="pbsm", within=2.0)
+        )
+        assert not hot.cached
+        cold = SpatialQueryService()
+        cold.register("sa", sa.current)
+        cold.register("sb", sb.current)
+        ref = cold.submit(
+            JoinRequest(a="sa", b="sb", algorithm="pbsm", within=2.0)
+        )
+        assert (
+            hot.report.result.pairs.tobytes()
+            == ref.report.result.pairs.tobytes()
+        )
+
+    def test_large_delta_falls_back(self):
+        sa, sb = _streams(n=300)
+        service = SpatialQueryService()
+        service.register("sa", sa.base())
+        service.register("sb", sb.base())
+        service.submit(JoinRequest(a="sa", b="sb", algorithm="pbsm"))
+        base = sa.current
+        survivors = np.sort(base.ids)[: len(base.ids) // 2]
+        huge = DatasetDelta(
+            delete_ids=np.setdiff1d(base.ids, survivors),
+            insert_ids=np.asarray([], dtype=np.int64),
+            insert_boxes=type(base.boxes).empty(base.boxes.ndim),
+        )
+        assert huge.fraction(len(base)) > 0.25
+        outcome = service.apply_delta("sa", huge)
+        assert outcome.patched == 0
+        assert outcome.fallbacks == 1
+
+    def test_patching_disabled_by_env(self):
+        sa, sb = _streams(n=400)
+        service = SpatialQueryService()
+        service.register("sa", sa.base())
+        service.register("sb", sb.base())
+        service.submit(JoinRequest(a="sa", b="sb", algorithm="pbsm"))
+        delta = sa.tick()
+        with env_override("REPRO_STREAM_PATCH", "0"):
+            outcome = service.apply_delta("sa", delta)
+        assert outcome.patched == 0
+        assert outcome.fallbacks == 1
+        hot = service.submit(JoinRequest(a="sa", b="sb", algorithm="pbsm"))
+        assert not hot.cached
+        cold = _cold_pairs(sa.current, sb.current, "pbsm")
+        assert hot.report.result.pairs.tobytes() == cold.tobytes()
+
+    def test_invalid_delta_leaves_state_untouched(self):
+        sa, _ = _streams(n=200)
+        service = SpatialQueryService()
+        entry = service.register("sa", sa.base())
+        bogus = DatasetDelta.deleting(
+            np.asarray([10**15], dtype=np.int64),
+            ndim=sa.base().boxes.ndim,
+        )
+        with pytest.raises(KeyError):
+            service.apply_delta("sa", bogus)
+        assert service.stats().delta_applies == 0
+        assert (
+            service.catalog.resolve("sa").fingerprint == entry.fingerprint
+        )
+
+    def test_unknown_name_raises(self):
+        service = SpatialQueryService()
+        with pytest.raises(KeyError):
+            service.apply_delta("nope", DatasetDelta.empty())
+
+
+class TestShardedApplyDelta:
+    def test_parity_with_cold_recompute_across_shards(self):
+        sa, sb = _streams()
+        with ShardedQueryService(shards=3, inline=True) as tier:
+            tier.register("sa", sa.base())
+            tier.register("sb", sb.base())
+            for algorithm in ("pbsm", "rtree"):
+                tier.submit(
+                    JoinRequest(a="sa", b="sb", algorithm=algorithm)
+                )
+            outcome = tier.apply_delta("sa", sa.tick())
+            assert outcome.patched == 2
+            assert outcome.fallbacks == 0
+            outcome_b = tier.apply_delta("sb", sb.tick())
+            assert outcome_b.patched == 2
+            for algorithm in ("pbsm", "rtree"):
+                hot = tier.submit(
+                    JoinRequest(a="sa", b="sb", algorithm=algorithm)
+                )
+                assert hot.cached
+                assert hot.report.delta_patched
+                cold = _cold_pairs(sa.current, sb.current, algorithm)
+                assert (
+                    hot.report.result.pairs.tobytes() == cold.tobytes()
+                )
+            stats = tier.stats()
+            assert stats.delta_applies == 2
+            assert stats.delta_patches == 4
+            assert stats.delta_patch_fallbacks == 0
+
+    def test_noop_and_unknown_name(self):
+        sa, _ = _streams(n=200)
+        with ShardedQueryService(shards=2, inline=True) as tier:
+            tier.register("sa", sa.base())
+            outcome = tier.apply_delta(
+                "sa", DatasetDelta.empty(ndim=sa.base().boxes.ndim)
+            )
+            assert outcome.noop
+            with pytest.raises(KeyError):
+                tier.apply_delta("nope", DatasetDelta.empty())
+
+    def test_version_advances_like_register(self):
+        sa, _ = _streams(n=200)
+        with ShardedQueryService(shards=2, inline=True) as tier:
+            entry = tier.register("sa", sa.base())
+            assert entry.version == 1
+            outcome = tier.apply_delta("sa", sa.tick())
+            assert outcome.entry.version == 2
+            assert outcome.entry.fingerprint != entry.fingerprint
+
+    def test_ad_hoc_partner_falls_back(self):
+        # The cached entry's partner side is an unregistered ad-hoc
+        # dataset: after the delta its fingerprint resolves to nothing,
+        # so the entry cannot be patched.
+        sa, _ = _streams(n=300)
+        partner = uniform_dataset(
+            300, seed=77, name="adhoc", id_offset=7 * 10**8
+        )
+        with ShardedQueryService(shards=2, inline=True) as tier:
+            tier.register("sa", sa.base())
+            tier.submit(
+                JoinRequest(a="sa", b=partner, algorithm="pbsm")
+            )
+            outcome = tier.apply_delta("sa", sa.tick())
+            assert outcome.patched == 0
+            assert outcome.fallbacks == 1

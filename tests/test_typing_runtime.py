@@ -31,10 +31,12 @@ import pytest
 #: The strict-gate surface (mirrors mypy.ini's strict set).
 SWEPT_PACKAGES = (
     "repro.core",
+    "repro.datagen",
     "repro.metrics",
     "repro.service",
     "repro.stats",
     "repro.storage",
+    "repro.streaming",
     "repro.engine.executor",
 )
 
